@@ -1,0 +1,71 @@
+"""Experiment A2: optimizer generations (section 2.4).
+
+The paper built "a simple heuristic-based optimizer" first, then the
+cost-based algorithm of [FLO 97] that "can enumerate plans that exploit
+indexes on the data and the schema".  We compare all three generations
+(naive source order, heuristic, cost-based) on a join-ordering-sensitive
+workload: a selective small collection joined against a large one
+through an attribute edge, written with the *bad* order first.
+"""
+
+import time
+
+import pytest
+
+from repro.graph import Atom, Graph, Oid
+from repro.struql import QueryEngine
+
+EXPERIMENT = "A2: optimizer generations"
+
+#: Deliberately bad source order: the big scan first.
+JOIN_QUERY = """
+input G
+where Big(x), x -> "v" -> w, Small(y), y -> "big" -> x, w != 99
+create R(y, x)
+collect Out(R(y, x))
+output O
+"""
+
+
+def _skewed(big: int, small: int) -> Graph:
+    graph = Graph("G")
+    for index in range(big):
+        oid = Oid(f"big{index}")
+        graph.add_to_collection("Big", oid)
+        graph.add_edge(oid, "v", Atom.int(index % 11))
+    for index in range(small):
+        oid = Oid(f"small{index}")
+        graph.add_to_collection("Small", oid)
+        graph.add_edge(oid, "big", Oid(f"big{index}"))
+    return graph
+
+
+@pytest.mark.parametrize("optimizer", ["naive", "heuristic", "cost"])
+def test_join_ordering(benchmark, experiment, optimizer):
+    graph = _skewed(big=1500, small=5)
+    engine = QueryEngine(optimizer=optimizer)
+
+    result = benchmark(lambda: engine.evaluate(JOIN_QUERY, graph))
+    assert len(result.output.collection("Out")) == 5
+    experiment.row(optimizer=optimizer,
+                   bindings=result.total_bindings,
+                   answers=len(result.output.collection("Out")))
+
+
+def test_ordering_shape(experiment, benchmark):
+    """The paper's progression: each generation is at least as good,
+    and the cost-based optimizer wins on this workload."""
+    graph = _skewed(big=1500, small=5)
+    cost_engine = QueryEngine(optimizer="cost")
+    benchmark(lambda: cost_engine.evaluate(JOIN_QUERY, graph))
+    latencies = {}
+    for optimizer in ("naive", "heuristic", "cost"):
+        engine = QueryEngine(optimizer=optimizer)
+        started = time.perf_counter()
+        for _ in range(3):
+            engine.evaluate(JOIN_QUERY, graph)
+        latencies[optimizer] = time.perf_counter() - started
+    experiment.row(optimizer="naive vs cost latency ratio",
+                   bindings="",
+                   answers=f"{latencies['naive'] / latencies['cost']:.1f}x")
+    assert latencies["cost"] < latencies["naive"]

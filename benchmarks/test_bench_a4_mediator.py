@@ -1,0 +1,85 @@
+"""Experiment A4: warehousing vs virtual integration (section 2.3).
+
+The prototype warehouses; the architecture accommodates either.  The
+trade-off: a warehouse pays integration once and goes stale as sources
+update; the virtual view pays integration per query and is always
+fresh.  We measure both costs on the five-source org workload and the
+crossover in total cost as the update:query ratio varies.
+"""
+
+import time
+
+import pytest
+
+from repro.datagen import build_org_mediator
+
+EXPERIMENT = "A4: warehousing vs virtual mediation"
+
+
+def _mediator():
+    return build_org_mediator(people=120, projects=12, publications=30)
+
+
+def test_warehouse_build(benchmark, experiment):
+    mediator = _mediator()
+    graph = benchmark(mediator.refresh)
+    experiment.row(mode="warehouse build (5 sources)",
+                   edges=graph.edge_count, note="paid per refresh")
+
+
+def test_warehouse_query_is_free(benchmark, experiment):
+    mediator = _mediator()
+    mediator.warehouse()
+    graph = benchmark(mediator.warehouse)
+    experiment.row(mode="warehoused read", edges=graph.edge_count,
+                   note="cached; staleness grows with source updates")
+
+
+def test_virtual_query(benchmark, experiment):
+    mediator = _mediator()
+    graph = benchmark(mediator.virtual_view)
+    experiment.row(mode="virtual read", edges=graph.edge_count,
+                   note="integration cost on every query; always fresh")
+
+
+@pytest.mark.parametrize("updates_per_query", [0.1, 1.0, 10.0])
+def test_total_cost_crossover(experiment, benchmark,
+                              updates_per_query):
+    """Warehouse total cost ~ refresh_cost * updates; virtual ~
+    integrate_cost * queries.  The policy crossover is at one source
+    update per query (refresh-on-update policy)."""
+    mediator = _mediator()
+    benchmark(mediator.warehouse)
+    started = time.perf_counter()
+    mediator.refresh()
+    refresh_cost = time.perf_counter() - started
+    started = time.perf_counter()
+    mediator.virtual_view()
+    virtual_cost = time.perf_counter() - started
+
+    queries = 20
+    updates = queries * updates_per_query
+    warehouse_total = refresh_cost * updates  # refresh per update
+    virtual_total = virtual_cost * queries
+    winner = "warehouse" if warehouse_total < virtual_total else "virtual"
+    experiment.row(mode=f"{updates_per_query} updates/query",
+                   edges="",
+                   note=f"warehouse {warehouse_total * 1000:.0f} ms vs "
+                        f"virtual {virtual_total * 1000:.0f} ms -> "
+                        f"{winner} wins")
+    # Shape check: warehousing wins when updates are rare, virtual when
+    # sources churn faster than they are read.
+    if updates_per_query < 1.0:
+        assert warehouse_total <= virtual_total
+    if updates_per_query > 1.0:
+        assert virtual_total <= warehouse_total
+
+
+def test_staleness_accounting(experiment, benchmark):
+    mediator = _mediator()
+    benchmark(mediator.warehouse)
+    for _ in range(7):
+        mediator.source("people").touch()
+    experiment.row(mode="staleness counter", edges="",
+                   note=f"{mediator.staleness()} unseen source updates")
+    assert mediator.staleness() == 7

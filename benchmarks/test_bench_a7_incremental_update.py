@@ -1,0 +1,75 @@
+"""Experiment A7 (extension): incremental site-graph updates.
+
+The paper lists "computing incremental updates of site graphs" as an
+open problem (section 6, [FER 98c]).  Our :func:`repro.site.refresh_site`
+implements the materialized-site half; this benchmark shows the property
+that makes it worthwhile: after a small data change, the number of
+rewritten HTML files is proportional to the change, not the site size.
+"""
+
+import os
+
+import pytest
+
+from repro.datagen import generate_bibtex
+from repro.graph import Atom, Oid
+from repro.site import refresh_site
+from repro.sites.homepage import FIG3_QUERY, fig7_templates
+from repro.struql import QueryEngine
+from repro.templates import HtmlGenerator
+from repro.wrappers import BibTexWrapper
+
+EXPERIMENT = "A7 (extension): incremental site updates"
+
+
+def _built_site(entries: int, out_dir: str):
+    data = BibTexWrapper().wrap(generate_bibtex(entries, seed=6),
+                                "BIBTEX")
+    site = QueryEngine().evaluate(FIG3_QUERY, data).output
+    HtmlGenerator(site, fig7_templates()).generate_site(out_dir)
+    return data, site
+
+
+@pytest.mark.parametrize("entries", [60, 240])
+def test_refresh_proportional_to_change(benchmark, experiment, entries,
+                                        tmp_path):
+    data, old_site = _built_site(entries, str(tmp_path))
+    total_pages = len(os.listdir(tmp_path))
+
+    # One new publication in one existing year / one existing category.
+    pub = Oid("pub_new")
+    data.add_to_collection("Publications", pub)
+    data.add_edge(pub, "title", Atom.string("Incremental"))
+    data.add_edge(pub, "year", data.get_one(Oid("pub1"), "year"))
+    data.add_edge(pub, "category",
+                  data.get_one(Oid("pub1"), "category"))
+    data.add_edge(pub, "abstract", Atom.file("a/new.txt"))
+
+    result = benchmark(lambda: refresh_site(
+        FIG3_QUERY, data, old_site, fig7_templates(), str(tmp_path)))
+
+    rewritten = result.pages_rewritten
+    experiment.row(site_pages=total_pages,
+                   change="1 new publication",
+                   pages_rewritten=rewritten,
+                   fraction=f"{rewritten / total_pages:.0%}")
+    # Proportionality: the rewrite set stays small and does not grow
+    # with site size (root + abstracts + 1 year + 1 category + new
+    # abstract page-ish).
+    assert rewritten <= 8
+    assert rewritten < total_pages
+
+
+def test_full_rebuild_comparison(benchmark, experiment, tmp_path):
+    data, old_site = _built_site(240, str(tmp_path))
+
+    def full_rebuild():
+        site = QueryEngine().evaluate(FIG3_QUERY, data).output
+        return HtmlGenerator(site, fig7_templates()).generate_site(
+            str(tmp_path))
+
+    written = benchmark(full_rebuild)
+    experiment.row(site_pages=len(written),
+                   change="none (baseline rebuild)",
+                   pages_rewritten=len(written),
+                   fraction="100%")

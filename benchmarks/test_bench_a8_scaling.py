@@ -1,0 +1,35 @@
+"""Experiment A8 (extension): end-to-end scaling.
+
+Not a paper table — evidence that the reproduction scales the way the
+architecture promises: site-graph construction and HTML generation grow
+near-linearly in data size, so the 400-person AT&T-scale site of T1 is
+nowhere near a cliff.
+"""
+
+import pytest
+
+from repro.datagen import build_org_mediator
+from repro.sites import build_org_site
+
+EXPERIMENT = "A8 (extension): end-to-end scaling"
+
+
+@pytest.mark.parametrize("people", [100, 400, 1000])
+def test_org_site_scaling(benchmark, experiment, people, tmp_path):
+    data = build_org_mediator(people=people,
+                              projects=max(8, people // 20),
+                              publications=people // 8).warehouse()
+
+    def build_and_generate():
+        site = build_org_site(data=data.copy("ORGDATA"))
+        site.generate(str(tmp_path))
+        return site
+
+    site = benchmark.pedantic(build_and_generate, rounds=2,
+                              warmup_rounds=0, iterations=1)
+    metrics = site.metrics()
+    experiment.row(people=people,
+                   data_edges=metrics.data_edges,
+                   site_edges=metrics.site_edges,
+                   pages=metrics.pages)
+    assert metrics.pages > people

@@ -1,0 +1,47 @@
+"""Experiment F2: the Fig 2 data graph.
+
+Regenerates the paper's Fig 2 fragment from its DDL text and checks the
+described shape (objects, collection membership, typed file attributes,
+irregular attributes).  The benchmark measures DDL parsing throughput,
+the wrapper-to-repository ingestion path.
+"""
+
+from repro.ddl import parse_ddl
+from repro.graph import AtomType, Oid
+from repro.sites.homepage import FIG2_DDL
+
+EXPERIMENT = "F2: Fig 2 data graph"
+
+
+def test_fig2_parse(benchmark, experiment):
+    graph = benchmark(parse_ddl, FIG2_DDL, "BIBTEX")
+
+    assert graph.collection("Publications") == [Oid("pub1"), Oid("pub2")]
+    assert graph.get_one(Oid("pub1"),
+                         "postscript").type is AtomType.POSTSCRIPT_FILE
+    assert graph.get_one(Oid("pub1"), "month") is not None
+    assert graph.get_one(Oid("pub2"), "month") is None
+
+    experiment.row(artifact="objects", paper=2, measured=graph.node_count)
+    experiment.row(artifact="collections", paper=1,
+                   measured=len(graph.collection_names()))
+    experiment.row(artifact="pub1 attrs (title/author×2/year/month/"
+                            "journal/pub-type/abstract/postscript/"
+                            "volume/category×2)",
+                   paper=12,
+                   measured=len(graph.out_edges(Oid("pub1"))))
+    experiment.row(artifact="pub2 attrs", paper=10,
+                   measured=len(graph.out_edges(Oid("pub2"))))
+
+
+def test_fig2_roundtrip(benchmark, experiment):
+    from repro.ddl import write_ddl
+    graph = parse_ddl(FIG2_DDL, "BIBTEX")
+
+    def roundtrip():
+        return parse_ddl(write_ddl(graph), "BIBTEX")
+
+    back = benchmark(roundtrip)
+    assert back.edge_count == graph.edge_count
+    experiment.row(artifact="DDL writer round trip",
+                   paper="lossless", measured="lossless")

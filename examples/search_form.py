@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Form-driven dynamic pages: a bibliography search.
+
+The paper (section 1): "Web pages that depend on user input, e.g., from
+forms, cannot be materialized statically, but must be created
+dynamically."  This example declares a parameterized StruQL query whose
+``kw`` variable is bound per request; each submission evaluates the
+query at click time and renders the result page, with per-term caching.
+
+Run:  python examples/search_form.py [entries] [terms...]
+"""
+
+import sys
+
+from repro.datagen import generate_bibtex
+from repro.site import FormHandler
+from repro.templates import TemplateSet
+from repro.wrappers import BibTexWrapper
+
+SEARCH_QUERY = """
+input BIBTEX
+{ where Publications(x), x -> "title" -> t, contains(t, kw)
+  create Results(kw), Hit(kw, x)
+  link Hit(kw, x) -> "title" -> t,
+       Results(kw) -> "Hit" -> Hit(kw, x),
+       Results(kw) -> "term" -> kw }
+{ where Publications(x), x -> "title" -> t, contains(t, kw),
+        x -> "year" -> y
+  link Hit(kw, x) -> "year" -> y }
+output SearchSite
+"""
+
+
+def templates() -> TemplateSet:
+    ts = TemplateSet()
+    ts.add("Results", """<HTML><BODY>
+<H1>Search results for "<SFMT @term>"</H1>
+<SFMTLIST @Hit FORMAT=EMBED DELIM="<BR>">
+</BODY></HTML>""")
+    ts.add("Hit", '<SFMT @title> (<SFMT @year>)', as_page=False)
+    return ts
+
+
+def main() -> None:
+    entries = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    terms = sys.argv[2:] or ["Optimizing", "Web", "optimizing"]
+    data = BibTexWrapper().wrap(generate_bibtex(entries), "BIBTEX")
+    handler = FormHandler(SEARCH_QUERY, data, templates(),
+                          result_fn="Results", params=("kw",))
+    for term in terms:
+        response = handler.submit(kw=term)
+        hits = response.html.count("<BR>") + 1 if "Hit" else 0
+        cached = " (cached)" if response.from_cache else ""
+        print(f"--- ?kw={term}  "
+              f"[{response.seconds * 1000:.2f} ms{cached}] ---")
+        print(response.html)
+        print()
+    print(f"stats: {handler.stats}")
+
+
+if __name__ == "__main__":
+    main()

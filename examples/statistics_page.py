@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Aggregation in StruQL: a statistics page for the homepage site.
+
+Demonstrates the grouping/aggregation extension (paper section 5.2: the
+query stage "is independently extensible; for example, we could extend
+it to include grouping and aggregation"): one query computes per-author
+publication counts, per-year counts and corpus totals, and builds a
+browsable statistics page from them.
+
+Run:  python examples/statistics_page.py [entries]
+"""
+
+import sys
+import tempfile
+
+from repro.datagen import generate_bibtex
+from repro.struql import QueryEngine
+from repro.templates import HtmlGenerator, TemplateSet
+from repro.wrappers import BibTexWrapper
+
+STATS_QUERY = """
+INPUT BIBTEX
+CREATE StatsPage()
+// Corpus totals.
+{ WHERE Publications(x), count(x) as total
+  LINK StatsPage() -> "total" -> total }
+// Per-author publication counts; prolific authors get cards.
+{ WHERE Publications(x), x -> "author" -> a,
+        count(x) per a as pubs, pubs >= 2
+  CREATE AuthorCard(a)
+  LINK AuthorCard(a) -> "name" -> a,
+       AuthorCard(a) -> "pubs" -> pubs,
+       StatsPage() -> "Author" -> AuthorCard(a) }
+// Per-year counts with the min/max spread.
+{ WHERE Publications(x), x -> "year" -> y,
+        count(x) per y as n
+  CREATE YearBar(y)
+  LINK YearBar(y) -> "year" -> y, YearBar(y) -> "n" -> n,
+       StatsPage() -> "Year" -> YearBar(y) }
+{ WHERE Publications(x), x -> "year" -> y,
+        min(y) as first, max(y) as last
+  LINK StatsPage() -> "first" -> first,
+       StatsPage() -> "last" -> last }
+OUTPUT Stats
+"""
+
+
+def templates() -> TemplateSet:
+    ts = TemplateSet()
+    ts.add("StatsPage", """<HTML><HEAD><TITLE>Statistics</TITLE></HEAD>
+<BODY>
+<H1>Bibliography statistics</H1>
+<P><SFMT @total> publications, <SFMT @first>–<SFMT @last>.</P>
+<H2>Publications per year</H2>
+<SFMTLIST @Year ORDER=ascend KEY=year FORMAT=EMBED DELIM="<BR>">
+<H2>Prolific authors (2+ papers)</H2>
+<SFMTLIST @Author ORDER=ascend KEY=name FORMAT=EMBED DELIM="<BR>">
+</BODY></HTML>""")
+    ts.add("YearBar", """<SFMT @year>: <SFMT @n>""", as_page=False)
+    ts.add("AuthorCard", """<B><SFMT @name></B> — <SFMT @pubs> papers""",
+           as_page=False)
+    return ts
+
+
+def main() -> None:
+    entries = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    data = BibTexWrapper().wrap(generate_bibtex(entries), "BIBTEX")
+    result = QueryEngine().evaluate(STATS_QUERY, data)
+    generator = HtmlGenerator(result.output, templates())
+    page = generator.pages()[0]
+    html = generator.render(page)
+    print(html)
+    out = tempfile.mkdtemp(prefix="strudel-stats-")
+    generator.generate_site(out)
+    print(f"\n(written to {out})")
+
+
+if __name__ == "__main__":
+    main()

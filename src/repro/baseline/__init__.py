@@ -1,0 +1,21 @@
+"""Hand-written (CGI-style) baseline site generators for benchmarks."""
+
+from repro.baseline.procedural import (
+    HOMEPAGE_HELPERS,
+    NEWS_HELPERS,
+    generate_homepage_site,
+    generate_homepage_site_external,
+    generate_news_site,
+    generate_news_site_sports,
+    source_lines,
+)
+
+__all__ = [
+    "HOMEPAGE_HELPERS",
+    "NEWS_HELPERS",
+    "generate_homepage_site",
+    "generate_homepage_site_external",
+    "generate_news_site",
+    "generate_news_site_sports",
+    "source_lines",
+]

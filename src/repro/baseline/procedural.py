@@ -1,0 +1,324 @@
+"""The procedural baseline: hand-written page generators.
+
+The paper's comparison point is current practice — "a site builder
+writes HTML files by hand or writes programs to produce them", and the
+official AT&T site "is generated using a large set of CGI-BIN scripts".
+Benchmarks F8 and A5 need that baseline concretely, so this module
+implements the homepage and news sites the way a CGI author would: one
+Python generator per site *version*, each walking the data graph and
+printing HTML, with content selection, structure and presentation all
+tangled together.
+
+The deliberate sins that make the comparison meaningful (and which
+STRUDEL's separation removes) are the same ones the paper names:
+
+* a second site version (`external`, `sports-only`) is a copy-pasted,
+  edited generator — there is no shared site structure to reuse;
+* restructuring the site means editing every function that mentions the
+  structure;
+* there is nothing to verify statically: no site schema exists.
+
+``source_lines`` measures the specification sizes the paper reports
+(query lines / template lines vs program lines).
+"""
+
+from __future__ import annotations
+
+import html
+import inspect
+
+from repro.graph.model import Graph, GraphObject, Oid
+from repro.graph.values import Atom, AtomType
+
+
+def _esc(value: GraphObject | None) -> str:
+    return html.escape(str(value)) if value is not None else ""
+
+
+def _first(graph: Graph, oid: Oid, label: str):
+    return graph.get_one(oid, label)
+
+
+def _safe(name: str) -> str:
+    return "".join(ch if (ch.isalnum() or ch in "-_") else "_"
+                   for ch in name)
+
+
+# --------------------------------------------------------------------------
+# Homepage site, internal version
+
+
+def generate_homepage_site(data: Graph) -> dict[str, str]:
+    """The internal homepage site, hand-rolled: returns url -> HTML."""
+    pages: dict[str, str] = {}
+    pubs = [p for p in data.collection("Publications")
+            if isinstance(p, Oid)]
+    years = sorted({str(_first(data, p, "year")) for p in pubs
+                    if _first(data, p, "year") is not None})
+    categories = sorted({str(c) for p in pubs
+                         for c in data.get(p, "category")})
+
+    # Root page: year and category indexes plus the abstracts link.
+    body = ["<HTML><BODY><H1>Publications</H1>",
+            "<H2>Publications by Year</H2><UL>"]
+    for year in years:
+        body.append(f'<LI><A HREF="year_{year}.html">{year}</A>')
+    body.append("</UL><H2>Publications by Topic</H2><UL>")
+    for category in categories:
+        body.append(f'<LI><A HREF="cat_{_safe(category)}.html">'
+                    f"{_esc(category)}</A>")
+    body.append('</UL><P><A HREF="abstracts.html">Paper Abstracts</A>'
+                "</BODY></HTML>")
+    pages["index.html"] = "\n".join(body)
+
+    # Year pages: full presentation of each matching publication.
+    for year in years:
+        chunks = [f"<HTML><BODY><H1>Publications from {year}</H1>"]
+        for pub in pubs:
+            if str(_first(data, pub, "year")) != year:
+                continue
+            chunks.append("<P>" + _present_pub(data, pub,
+                                               with_postscript=True))
+        chunks.append("</BODY></HTML>")
+        pages[f"year_{year}.html"] = "\n".join(chunks)
+
+    # Category pages: same presentation, other grouping.
+    for category in categories:
+        chunks = [f"<HTML><BODY><H1>Publications on "
+                  f"{_esc(category)}</H1>"]
+        for pub in pubs:
+            if category not in {str(c) for c in data.get(pub, "category")}:
+                continue
+            chunks.append("<P>" + _present_pub(data, pub,
+                                               with_postscript=True))
+        chunks.append("</BODY></HTML>")
+        pages[f"cat_{_safe(category)}.html"] = "\n".join(chunks)
+
+    # Abstracts page and one page per abstract.
+    chunks = ["<HTML><BODY><H1>Paper Abstracts</H1>"]
+    for pub in pubs:
+        chunks.append("<HR>" + _abstract_block(data, pub))
+        pages[f"abs_{_safe(pub.name)}.html"] = (
+            "<HTML><BODY>" + _abstract_block(data, pub) + "</BODY></HTML>")
+    chunks.append("</BODY></HTML>")
+    pages["abstracts.html"] = "\n".join(chunks)
+    return pages
+
+
+def _present_pub(data: Graph, pub: Oid, with_postscript: bool) -> str:
+    title = _esc(_first(data, pub, "title"))
+    authors = ", ".join(_esc(a) for a in data.get(pub, "author"))
+    year = _esc(_first(data, pub, "year"))
+    venue = _first(data, pub, "journal") or _first(data, pub, "booktitle")
+    postscript = _first(data, pub, "postscript")
+    if with_postscript and postscript is not None:
+        head = f'<A HREF="{_esc(postscript)}">{title}</A>'
+    else:
+        head = title
+    venue_text = f"<I>{_esc(venue)}</I>, " if venue is not None else ""
+    return (f"{head}. By {authors}. {venue_text}{year}. "
+            f'<A HREF="abs_{_safe(pub.name)}.html">Abstract</A>')
+
+
+def _abstract_block(data: Graph, pub: Oid) -> str:
+    title = _esc(_first(data, pub, "title"))
+    abstract = _esc(_first(data, pub, "abstract"))
+    return f"<H3>{title}</H3><P>{abstract}"
+
+
+# --------------------------------------------------------------------------
+# Homepage site, external version: a copy-pasted, edited generator.
+# (This duplication is the point: there is no shared structure to edit.)
+
+
+def generate_homepage_site_external(data: Graph) -> dict[str, str]:
+    """The external homepage site: no PostScript links, no volumes."""
+    pages: dict[str, str] = {}
+    pubs = [p for p in data.collection("Publications")
+            if isinstance(p, Oid)]
+    years = sorted({str(_first(data, p, "year")) for p in pubs
+                    if _first(data, p, "year") is not None})
+    categories = sorted({str(c) for p in pubs
+                         for c in data.get(p, "category")})
+
+    body = ["<HTML><BODY><H1>Publications</H1>",
+            "<H2>Publications by Year</H2><UL>"]
+    for year in years:
+        body.append(f'<LI><A HREF="year_{year}.html">{year}</A>')
+    body.append("</UL><H2>Publications by Topic</H2><UL>")
+    for category in categories:
+        body.append(f'<LI><A HREF="cat_{_safe(category)}.html">'
+                    f"{_esc(category)}</A>")
+    body.append('</UL><P><A HREF="abstracts.html">Paper Abstracts</A>'
+                "</BODY></HTML>")
+    pages["index.html"] = "\n".join(body)
+
+    for year in years:
+        chunks = [f"<HTML><BODY><H1>Publications from {year}</H1>"]
+        for pub in pubs:
+            if str(_first(data, pub, "year")) != year:
+                continue
+            chunks.append("<P>" + _present_pub(data, pub,
+                                               with_postscript=False))
+        chunks.append("</BODY></HTML>")
+        pages[f"year_{year}.html"] = "\n".join(chunks)
+
+    for category in categories:
+        chunks = [f"<HTML><BODY><H1>Publications on "
+                  f"{_esc(category)}</H1>"]
+        for pub in pubs:
+            if category not in {str(c) for c in data.get(pub, "category")}:
+                continue
+            chunks.append("<P>" + _present_pub(data, pub,
+                                               with_postscript=False))
+        chunks.append("</BODY></HTML>")
+        pages[f"cat_{_safe(category)}.html"] = "\n".join(chunks)
+
+    chunks = ["<HTML><BODY><H1>Paper Abstracts</H1>"]
+    for pub in pubs:
+        chunks.append("<HR>" + _abstract_block(data, pub))
+        pages[f"abs_{_safe(pub.name)}.html"] = (
+            "<HTML><BODY>" + _abstract_block(data, pub) + "</BODY></HTML>")
+    chunks.append("</BODY></HTML>")
+    pages["abstracts.html"] = "\n".join(chunks)
+    return pages
+
+
+# --------------------------------------------------------------------------
+# News site, general + sports-only versions
+
+
+def generate_news_site(data: Graph) -> dict[str, str]:
+    """The general news site, hand-rolled: front page, section pages,
+    per-day archive pages, article pages with related-story links."""
+    pages: dict[str, str] = {}
+    articles = [a for a in data.collection("Articles")
+                if isinstance(a, Oid)]
+    sections = sorted({str(_first(data, a, "meta-section"))
+                       for a in articles
+                       if _first(data, a, "meta-section") is not None})
+    days = sorted({str(_first(data, a, "meta-day")) for a in articles
+                   if _first(data, a, "meta-day") is not None}, key=int)
+
+    body = ["<HTML><BODY><H1>Today's News</H1><H2>Sections</H2><UL>"]
+    for section in sections:
+        body.append(f'<LI><A HREF="sec_{_safe(section)}.html">'
+                    f"{_esc(section)}</A>")
+    body.append("</UL><H2>Archive</H2><OL>")
+    for day in days:
+        body.append(f'<LI><A HREF="day_{day}.html">day {day}</A>')
+    body.append("</OL></BODY></HTML>")
+    pages["index.html"] = "\n".join(body)
+
+    for section in sections:
+        chunks = [f"<HTML><BODY><H1>Section: {_esc(section)}</H1>"]
+        for article in articles:
+            if str(_first(data, article, "meta-section")) != section:
+                continue
+            chunks.append("<HR>" + _summarize(data, article))
+        chunks.append("</BODY></HTML>")
+        pages[f"sec_{_safe(section)}.html"] = "\n".join(chunks)
+
+    for day in days:
+        chunks = [f"<HTML><BODY><H1>Stories from day {day}</H1>"]
+        for article in articles:
+            if str(_first(data, article, "meta-day")) != day:
+                continue
+            chunks.append("<HR>" + _summarize(data, article))
+        chunks.append("</BODY></HTML>")
+        pages[f"day_{day}.html"] = "\n".join(chunks)
+
+    article_set = set(articles)
+    for article in articles:
+        related = [t for t in data.get(article, "link")
+                   if isinstance(t, Oid) and t in article_set]
+        pages[f"art_{_safe(article.name)}.html"] = _article_page(
+            data, article, related)
+    return pages
+
+
+def generate_news_site_sports(data: Graph) -> dict[str, str]:
+    """The sports-only news site: another copy-pasted generator."""
+    pages: dict[str, str] = {}
+    articles = [a for a in data.collection("Articles")
+                if isinstance(a, Oid)
+                and str(_first(data, a, "meta-section")) == "sports"]
+
+    days = sorted({str(_first(data, a, "meta-day")) for a in articles
+                   if _first(data, a, "meta-day") is not None}, key=int)
+
+    body = ["<HTML><BODY><H1>Today's Sports</H1><UL>",
+            '<LI><A HREF="sec_sports.html">sports</A>',
+            "</UL><H2>Archive</H2><OL>"]
+    for day in days:
+        body.append(f'<LI><A HREF="day_{day}.html">day {day}</A>')
+    body.append("</OL></BODY></HTML>")
+    pages["index.html"] = "\n".join(body)
+
+    chunks = ["<HTML><BODY><H1>Section: sports</H1>"]
+    for article in articles:
+        chunks.append("<HR>" + _summarize(data, article))
+    chunks.append("</BODY></HTML>")
+    pages["sec_sports.html"] = "\n".join(chunks)
+
+    for day in days:
+        chunks = [f"<HTML><BODY><H1>Stories from day {day}</H1>"]
+        for article in articles:
+            if str(_first(data, article, "meta-day")) != day:
+                continue
+            chunks.append("<HR>" + _summarize(data, article))
+        chunks.append("</BODY></HTML>")
+        pages[f"day_{day}.html"] = "\n".join(chunks)
+
+    article_set = set(articles)
+    for article in articles:
+        related = [t for t in data.get(article, "link")
+                   if isinstance(t, Oid) and t in article_set]
+        pages[f"art_{_safe(article.name)}.html"] = _article_page(
+            data, article, related)
+    return pages
+
+
+def _summarize(data: Graph, article: Oid) -> str:
+    title = _esc(_first(data, article, "title"))
+    byline = _first(data, article, "meta-byline")
+    byline_text = f" — {_esc(byline)}" if byline is not None else ""
+    return (f"<P><B>{title}</B>{byline_text} "
+            f'<A HREF="art_{_safe(article.name)}.html">full story</A></P>')
+
+
+def _article_page(data: Graph, article: Oid,
+                  related: list[Oid] | None = None) -> str:
+    title = _esc(_first(data, article, "title"))
+    text = _esc(_first(data, article, "text"))
+    image = _first(data, article, "image")
+    image_tag = (f'<IMG SRC="{_esc(image)}">'
+                 if isinstance(image, Atom)
+                 and image.type is AtomType.IMAGE_FILE else "")
+    related_html = ""
+    if related:
+        links = "<BR>".join(_summarize(data, r) for r in related)
+        related_html = f"<H3>Related stories</H3>{links}"
+    return (f"<HTML><BODY><H1>{title}</H1>{image_tag}"
+            f"<P>{text}</P>{related_html}</BODY></HTML>")
+
+
+# --------------------------------------------------------------------------
+# Specification-size accounting
+
+
+def source_lines(*functions) -> int:
+    """Non-blank source lines of the given generator functions — the
+    baseline's 'specification size' for the Fig 8 / A5 comparisons."""
+    total = 0
+    for fn in functions:
+        source = inspect.getsource(fn)
+        total += sum(1 for line in source.splitlines() if line.strip())
+    return total
+
+
+#: The helper functions shared by the internal homepage generator.
+HOMEPAGE_HELPERS = (_present_pub, _abstract_block)
+
+#: Helpers shared by the news generators.
+NEWS_HELPERS = (_summarize, _article_page)

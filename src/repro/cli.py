@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Drives the full pipeline from files on disk, so a site can be managed
+without writing Python:
+
+.. code-block:: console
+
+    $ python -m repro build --data pubs.bib --data me.ddl \\
+          --query site.struql --templates templates/ --out www/
+    $ python -m repro schema --query site.struql [--dot]
+    $ python -m repro check  --query site.struql
+    $ python -m repro diff   --query site.struql --data pubs.bib \\
+          --old-site site.json
+
+Data files are wrapped by extension:
+
+=========  ==========================================================
+suffix     wrapper
+=========  ==========================================================
+.ddl       the STRUDEL data-definition language (Fig 2)
+.bib       BibTeX
+.csv       relational (table named after the file; ``login``/``id``
+           columns become row keys when present)
+.rec       structured records (collection named after the file)
+.xml       XML
+.html      HTML page (several ``--data`` pages share one graph)
+.json      a serialized graph (``graph_to_json`` output)
+=========  ==========================================================
+
+Several ``--data`` files merge into one data graph (shared oids unify).
+Template files ``<Name>.tmpl`` register under ``Name`` as pages;
+``<Name>.component.tmpl`` register as embedded components.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.ddl import parse_ddl
+from repro.errors import StrudelError
+from repro.graph.model import Graph
+from repro.graph.serialization import graph_from_json, graph_to_json
+from repro.site.schema import build_site_schema
+from repro.site.verify import ReachableFromRoot, Verifier
+from repro.struql.analysis import analyze
+from repro.struql.evaluator import QueryEngine
+from repro.struql.parser import parse_query
+from repro.templates.generator import TemplateSet
+from repro.wrappers.bibtex import BibTexWrapper
+from repro.wrappers.html_wrapper import HtmlWrapper
+from repro.wrappers.relational import RelationalWrapper
+from repro.wrappers.structured_file import StructuredFileWrapper
+from repro.wrappers.xml_wrapper import XmlWrapper
+
+
+def _table_name(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0].capitalize()
+
+
+def load_data_file(path: str) -> Graph:
+    """Wrap one data file by extension."""
+    suffix = os.path.splitext(path)[1].lower()
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    name = _table_name(path)
+    if suffix in (".ddl", ".strudel"):
+        return parse_ddl(text, name)
+    if suffix == ".bib":
+        return BibTexWrapper().wrap(text, name)
+    if suffix == ".csv":
+        header = text.splitlines()[0].split(",") if text.strip() else []
+        key = next((c for c in ("login", "id", "key")
+                    if c in [h.strip() for h in header]), None)
+        wrapper = RelationalWrapper(
+            key_columns={name: key} if key else {})
+        return wrapper.wrap_tables({name: text}, name)
+    if suffix == ".rec":
+        return StructuredFileWrapper(collection=name).wrap(text, name)
+    if suffix == ".xml":
+        return XmlWrapper().wrap(text, name)
+    if suffix in (".html", ".htm"):
+        return HtmlWrapper().wrap_pages(
+            {os.path.basename(path): text}, name)
+    if suffix == ".json":
+        return graph_from_json(text)
+    raise StrudelError(f"no wrapper for {path!r} (suffix {suffix!r})")
+
+
+def load_data(paths: list[str], graph_name: str) -> Graph:
+    """Wrap and merge all ``--data`` files into one graph."""
+    merged = Graph(graph_name)
+    html_pages: dict[str, str] = {}
+    for path in paths:
+        if os.path.splitext(path)[1].lower() in (".html", ".htm"):
+            with open(path, encoding="utf-8") as handle:
+                html_pages[os.path.basename(path)] = handle.read()
+            continue
+        merged.import_graph(load_data_file(path))
+    if html_pages:
+        merged.import_graph(HtmlWrapper().wrap_pages(html_pages))
+    return merged
+
+
+def load_templates(directory: str) -> TemplateSet:
+    """Register every ``*.tmpl`` file in ``directory``."""
+    templates = TemplateSet()
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".tmpl"):
+            continue
+        stem = filename[:-len(".tmpl")]
+        as_page = True
+        if stem.endswith(".component"):
+            stem = stem[:-len(".component")]
+            as_page = False
+        with open(os.path.join(directory, filename),
+                  encoding="utf-8") as handle:
+            templates.add(stem, handle.read(), as_page=as_page)
+    return templates
+
+
+def _read_query(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return parse_query(handle.read())
+
+
+# --------------------------------------------------------------------------
+# Commands
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    query = _read_query(args.query)
+    data = load_data(args.data, query.input_name)
+    engine = QueryEngine(optimizer=args.optimizer)
+    result = engine.evaluate(query, data)
+    site = result.output
+    print(f"data graph: {data.node_count} objects, "
+          f"{data.edge_count} edges")
+    print(f"site graph: {site.node_count} nodes, {site.edge_count} links")
+    if args.verify_root:
+        report = Verifier([ReachableFromRoot(args.verify_root)]).verify(
+            graph=site, schema=build_site_schema(query))
+        print(report)
+        if not report.ok:
+            return 1
+    if args.site_json:
+        with open(args.site_json, "w", encoding="utf-8") as handle:
+            handle.write(graph_to_json(site))
+        print(f"site graph saved to {args.site_json}")
+    if args.site_dot:
+        from repro.graph.dot import graph_to_dot
+        with open(args.site_dot, "w", encoding="utf-8") as handle:
+            handle.write(graph_to_dot(site, max_nodes=200))
+        print(f"site graph (dot) saved to {args.site_dot}")
+    if args.templates:
+        from repro.templates.generator import HtmlGenerator
+        templates = load_templates(args.templates)
+        generator = HtmlGenerator(site, templates)
+        os.makedirs(args.out, exist_ok=True)
+        written = generator.generate_site(args.out)
+        print(f"wrote {len(written)} pages to {args.out}")
+    return 0
+
+
+def cmd_schema(args: argparse.Namespace) -> int:
+    schema = build_site_schema(_read_query(args.query))
+    print(schema.to_dot(include_ns=args.ns) if args.dot
+          else schema.render(include_ns=args.ns))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    query = _read_query(args.query)  # parse errors raise already
+    warnings = analyze(query)
+    if not warnings:
+        print("query is range restricted: meaning is independent of "
+              "the active domain")
+        return 0
+    for warning in warnings:
+        print(f"warning: {warning}")
+    return 2
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.site.diff import diff_graphs
+    query = _read_query(args.query)
+    data = load_data(args.data, query.input_name)
+    with open(args.old_site, encoding="utf-8") as handle:
+        old_site = graph_from_json(handle.read())
+    new_site = QueryEngine().evaluate(query, data).output
+    diff = diff_graphs(old_site, new_site)
+    print(diff.summary())
+    for node in sorted(diff.added_nodes, key=str):
+        print(f"  + {node}")
+    for node in sorted(diff.removed_nodes, key=str):
+        print(f"  - {node}")
+    return 0 if diff.empty else 3
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STRUDEL: declarative Web-site management")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a site from files")
+    build.add_argument("--data", action="append", required=True,
+                       help="data file (repeatable; wrapped by suffix)")
+    build.add_argument("--query", required=True,
+                       help="StruQL site-definition file")
+    build.add_argument("--templates", help="directory of *.tmpl files")
+    build.add_argument("--out", default="www",
+                       help="output directory for HTML")
+    build.add_argument("--optimizer", default="cost",
+                       choices=("naive", "heuristic", "cost"))
+    build.add_argument("--verify-root",
+                       help="check all pages reachable from this "
+                            "Skolem function")
+    build.add_argument("--site-json",
+                       help="also save the site graph as JSON")
+    build.add_argument("--site-dot",
+                       help="also save a GraphViz view of the site graph")
+    build.set_defaults(fn=cmd_build)
+
+    schema = sub.add_parser("schema", help="print a query's site schema")
+    schema.add_argument("--query", required=True)
+    schema.add_argument("--dot", action="store_true",
+                        help="GraphViz output")
+    schema.add_argument("--ns", action="store_true",
+                        help="include N_S edges")
+    schema.set_defaults(fn=cmd_schema)
+
+    check = sub.add_parser("check",
+                           help="static checks: parse + range restriction")
+    check.add_argument("--query", required=True)
+    check.set_defaults(fn=cmd_check)
+
+    diff = sub.add_parser("diff",
+                          help="diff a saved site graph against a rebuild")
+    diff.add_argument("--data", action="append", required=True)
+    diff.add_argument("--query", required=True)
+    diff.add_argument("--old-site", required=True,
+                      help="JSON site graph from a previous build")
+    diff.set_defaults(fn=cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except StrudelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

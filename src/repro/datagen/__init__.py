@@ -1,0 +1,14 @@
+"""Seeded synthetic workload generators (the paper's data substitutes)."""
+
+from repro.datagen.bibtex import generate_bibtex
+from repro.datagen.news import SECTIONS, generate_news_graph, generate_news_pages
+from repro.datagen.org import build_org_mediator, generate_org_sources
+
+__all__ = [
+    "SECTIONS",
+    "build_org_mediator",
+    "generate_bibtex",
+    "generate_news_graph",
+    "generate_news_pages",
+    "generate_org_sources",
+]

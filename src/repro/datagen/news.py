@@ -1,0 +1,88 @@
+"""Synthetic news corpus (substitute for the CNN article database).
+
+The paper's CNN demonstration wrapped "about 300 articles" from HTML
+pages: "on any day, one article may appear in various formats on
+multiple pages" and "although the disposition of an article in a site is
+complex [...] the structure is uniform for all articles".  The paper's
+sports-only derived site needs section metadata.
+
+:func:`generate_news_pages` emits HTML documents (exercising the HTML
+wrapper end to end): one page per article carrying ``<title>``,
+``<h1>``, paragraphs, section/date/byline ``<meta>`` tags, related-story
+links to other wrapped pages, and an image on most articles.
+:func:`generate_news_graph` is the shortcut that wraps them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.model import Graph
+from repro.wrappers.html_wrapper import HtmlWrapper
+
+SECTIONS = ["world", "us", "politics", "sports", "technology",
+            "health", "showbiz", "weather"]
+
+_SUBJECTS = [
+    "Summit", "Election", "Launch", "Trial", "Storm", "Merger", "Final",
+    "Strike", "Discovery", "Budget", "Tournament", "Outage",
+]
+
+_VERBS = [
+    "shakes", "reaches", "delays", "dominates", "surprises", "divides",
+    "transforms", "tests", "inspires", "halts",
+]
+
+_OBJECTS = [
+    "the region", "investors", "the league", "voters", "researchers",
+    "the industry", "officials", "fans", "markets", "negotiators",
+]
+
+_REPORTERS = [
+    "A. Chen", "B. Okafor", "C. Ruiz", "D. Novak", "E. Haddad",
+    "F. Larsen", "G. Mori", "H. Patel",
+]
+
+
+def generate_news_pages(articles: int = 300, seed: int = 11,
+                        days: int = 7) -> dict[str, str]:
+    """HTML pages keyed by URL, one per synthetic article."""
+    rng = random.Random(seed)
+    urls = [f"articles/a{i + 1}.html" for i in range(articles)]
+    pages: dict[str, str] = {}
+    for index, url in enumerate(urls):
+        section = rng.choice(SECTIONS)
+        day = rng.randint(1, days)
+        title = (f"{rng.choice(_SUBJECTS)} {rng.choice(_VERBS)} "
+                 f"{rng.choice(_OBJECTS)}")
+        byline = rng.choice(_REPORTERS)
+        related = rng.sample(urls, k=min(3, articles - 1))
+        related = [r for r in related if r != url][:2]
+        body_paragraphs = "\n".join(
+            f"<p>Paragraph {p + 1} of article {index + 1} covering "
+            f"{section} news on day {day}.</p>"
+            for p in range(rng.randint(2, 5)))
+        image = (f'<img src="images/a{index + 1}.jpg" alt="photo">'
+                 if rng.random() < 0.8 else "")
+        links = "\n".join(f'<a href="{r}">Related story</a>'
+                          for r in related)
+        pages[url] = f"""<html><head>
+<title>{title}</title>
+<meta name="section" content="{section}">
+<meta name="day" content="{day}">
+<meta name="byline" content="{byline}">
+</head><body>
+<h1>{title}</h1>
+{image}
+{body_paragraphs}
+{links}
+</body></html>"""
+    return pages
+
+
+def generate_news_graph(articles: int = 300, seed: int = 11,
+                        days: int = 7,
+                        graph_name: str = "cnn") -> Graph:
+    """The wrapped news corpus as a data graph."""
+    pages = generate_news_pages(articles, seed, days)
+    return HtmlWrapper(collection="Articles").wrap_pages(pages, graph_name)

@@ -1,0 +1,6 @@
+"""STRUDEL data-definition language (paper Fig 2): parser and writer."""
+
+from repro.ddl.parser import DDLParser, parse_ddl, parse_ddl_file
+from repro.ddl.writer import write_ddl
+
+__all__ = ["DDLParser", "parse_ddl", "parse_ddl_file", "write_ddl"]

@@ -1,0 +1,166 @@
+"""Writer emitting STRUDEL DDL text from a graph.
+
+The inverse of :mod:`repro.ddl.parser`: serializes a data graph back to
+the Fig 2 surface syntax so graphs can be exchanged with wrappers, kept
+in version control, and diffed by humans.  ``parse_ddl(write_ddl(g))``
+reconstructs an isomorphic graph (anonymous nested objects get stable
+generated names; atoms with non-string types are declared via collection
+type directives where possible and otherwise emitted losslessly through
+a synthetic ``_types`` collection).
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import Graph, GraphObject, Oid
+from repro.graph.values import Atom, AtomType
+
+#: Inverse of the parser's TYPE_NAMES, choosing one canonical name.
+_TYPE_DIRECTIVE: dict[AtomType, str] = {
+    AtomType.TEXT_FILE: "text",
+    AtomType.POSTSCRIPT_FILE: "ps",
+    AtomType.HTML_FILE: "html",
+    AtomType.IMAGE_FILE: "image",
+    AtomType.URL: "url",
+    AtomType.INT: "int",
+    AtomType.FLOAT: "float",
+    AtomType.STRING: "string",
+    AtomType.BOOL: "bool",
+}
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{escaped}"'
+
+
+def _atom_literal(atom: Atom) -> str:
+    if atom.type is AtomType.INT:
+        return str(atom.value)
+    if atom.type is AtomType.FLOAT:
+        return repr(atom.value)
+    if atom.type is AtomType.BOOL:
+        return "true" if atom.value else "false"
+    return _quote(str(atom.value))
+
+
+def _collection_defaults(graph: Graph) -> dict[str, dict[str, AtomType]]:
+    """Infer per-collection type directives from member attribute types.
+
+    An attribute gets a directive when every string-typed-looking value
+    of it across a collection's members shares one non-STRING atom type;
+    that is exactly what the parser needs to re-type those values.
+    """
+    defaults: dict[str, dict[str, AtomType]] = {}
+    for cname in graph.collection_names():
+        attr_types: dict[str, set[AtomType]] = {}
+        for member in graph.collection(cname):
+            if not isinstance(member, Oid):
+                continue
+            for edge in graph.out_edges(member):
+                if isinstance(edge.target, Atom):
+                    attr_types.setdefault(edge.label, set()).add(
+                        edge.target.type)
+        directives = {}
+        for attr, types in attr_types.items():
+            if len(types) == 1:
+                only = next(iter(types))
+                if only is not AtomType.STRING and (
+                        only.is_file or only is AtomType.URL):
+                    directives[attr] = only
+        if directives:
+            defaults[cname] = directives
+    return defaults
+
+
+def write_ddl(graph: Graph) -> str:
+    """Serialize ``graph`` to DDL text."""
+    lines: list[str] = []
+    defaults = _collection_defaults(graph)
+
+    for cname in graph.collection_names():
+        directives = defaults.get(cname, {})
+        if directives:
+            inner = " ".join(f"{attr} {_TYPE_DIRECTIVE[t]}"
+                             for attr, t in sorted(directives.items()))
+            lines.append(f"collection {cname} {{ {inner} }}")
+        else:
+            lines.append(f"collection {cname} {{ }}")
+    if lines:
+        lines.append("")
+
+    membership: dict[Oid, list[str]] = {}
+    for cname in graph.collection_names():
+        for member in graph.collection(cname):
+            if isinstance(member, Oid):
+                membership.setdefault(member, []).append(cname)
+
+    emitted: set[Oid] = set()
+    # Nested anonymous objects are emitted inline; find them first.
+    inline_targets = _inline_candidates(graph)
+
+    for node in graph.nodes():
+        if node in inline_targets:
+            continue
+        lines.extend(_object_block(graph, node, membership, inline_targets))
+        lines.append("")
+        emitted.add(node)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _inline_candidates(graph: Graph) -> set[Oid]:
+    """Nodes safe to emit inline: one incoming edge, no collections,
+    and an inline-parent chain that terminates (no reference cycles —
+    a self-loop node must be emitted top-level with a ``&`` reference,
+    not nested inside itself)."""
+    candidates: set[Oid] = set()
+    for node in graph.nodes():
+        incoming = graph.in_edges(node)
+        if len(incoming) == 1 and not graph.collections_of(node):
+            candidates.add(node)
+    for node in list(candidates):
+        if node not in candidates:
+            continue
+        chain: list[Oid] = []
+        cursor = node
+        while cursor in candidates and cursor not in chain:
+            chain.append(cursor)
+            cursor = graph.in_edges(cursor)[0].source
+        if cursor in chain:  # cycle: none of these can inline
+            candidates.difference_update(chain)
+    return candidates
+
+
+def _object_block(graph: Graph, node: Oid,
+                  membership: dict[Oid, list[str]],
+                  inline_targets: set[Oid], indent: int = 0,
+                  header: str | None = None) -> list[str]:
+    pad = "  " * indent
+    if header is None:
+        memberships = membership.get(node, [])
+        suffix = f" in {', '.join(memberships)}" if memberships else ""
+        header = f"object {_safe_name(node.name)}{suffix} {{"
+    lines = [pad + header]
+    for edge in graph.out_edges(node):
+        target = edge.target
+        if isinstance(target, Atom):
+            lines.append(f"{pad}  {edge.label} {_atom_literal(target)}")
+        elif target in inline_targets:
+            lines.extend(_object_block(
+                graph, target, membership, inline_targets, indent + 1,
+                header=f"{edge.label} {{"))
+        else:
+            lines.append(f"{pad}  {edge.label} &{_safe_name(target.name)}")
+    lines.append(pad + "}")
+    return lines
+
+
+def _safe_name(name: str) -> str:
+    """Make an oid name identifier-safe for the DDL surface syntax."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if not text or not (text[0].isalpha() or text[0] == "_"):
+        text = "o_" + text
+    return text

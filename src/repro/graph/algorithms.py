@@ -1,0 +1,229 @@
+"""Graph algorithms over the STRUDEL data model.
+
+These are the traversal primitives the rest of the system builds on:
+
+* regular-path evaluation needs label-filtered breadth-first search and
+  transitive closure (:func:`reachable`, :func:`transitive_closure`);
+* integrity-constraint verification needs reachability from roots and
+  unreachable-node detection (:func:`unreachable_from`);
+* the site layer uses :func:`shortest_path` to produce witness paths in
+  constraint-violation reports and :func:`weakly_connected_components`
+  for connectedness checks.
+
+All functions treat atoms as sinks: edges may end in atoms, and an atom
+can be a traversal target, but traversal never continues out of one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.graph.model import Edge, Graph, GraphObject, Oid
+
+#: Predicate over edge labels used to restrict traversals.
+LabelFilter = Callable[[str], bool]
+
+
+def _any_label(label: str) -> bool:
+    return True
+
+
+def reachable(graph: Graph, start: Oid,
+              label_ok: LabelFilter = _any_label,
+              include_start: bool = True,
+              include_atoms: bool = False) -> set[GraphObject]:
+    """Objects reachable from ``start`` along edges whose label passes.
+
+    ``include_start`` controls whether ``start`` itself is reported;
+    ``include_atoms`` controls whether atom targets are reported (they
+    are never expanded either way).
+    """
+    seen: set[GraphObject] = {start}
+    out: set[GraphObject] = {start} if include_start else set()
+    queue: deque[Oid] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for edge in graph.out_edges(node):
+            if not label_ok(edge.label):
+                continue
+            target = edge.target
+            if target in seen:
+                continue
+            seen.add(target)
+            if isinstance(target, Oid):
+                out.add(target)
+                queue.append(target)
+            elif include_atoms:
+                out.add(target)
+    return out
+
+
+def reachable_many(graph: Graph, starts: Iterable[Oid],
+                   label_ok: LabelFilter = _any_label) -> set[GraphObject]:
+    """Union of :func:`reachable` over several start nodes."""
+    out: set[GraphObject] = set()
+    for start in starts:
+        out |= reachable(graph, start, label_ok)
+    return out
+
+
+def unreachable_from(graph: Graph, roots: Iterable[Oid]) -> set[Oid]:
+    """Nodes of ``graph`` not reachable from any of ``roots``.
+
+    This is the check behind the paper's canonical integrity constraint
+    "all pages are reachable from the root".
+    """
+    covered = reachable_many(graph, roots)
+    return {node for node in graph.nodes() if node not in covered}
+
+
+def shortest_path(graph: Graph, start: Oid, goal: GraphObject,
+                  label_ok: LabelFilter = _any_label) -> list[Edge] | None:
+    """A shortest edge path from ``start`` to ``goal``, or ``None``.
+
+    Breadth-first, so the returned path has the minimum number of edges.
+    """
+    if start == goal:
+        return []
+    parent: dict[GraphObject, Edge] = {}
+    seen: set[GraphObject] = {start}
+    queue: deque[Oid] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for edge in graph.out_edges(node):
+            if not label_ok(edge.label):
+                continue
+            target = edge.target
+            if target in seen:
+                continue
+            seen.add(target)
+            parent[target] = edge
+            if target == goal:
+                return _unwind(parent, start, target)
+            if isinstance(target, Oid):
+                queue.append(target)
+    return None
+
+
+def _unwind(parent: dict[GraphObject, Edge], start: Oid,
+            goal: GraphObject) -> list[Edge]:
+    path: list[Edge] = []
+    cursor: GraphObject = goal
+    while cursor != start:
+        edge = parent[cursor]
+        path.append(edge)
+        cursor = edge.source
+    path.reverse()
+    return path
+
+
+def transitive_closure(graph: Graph,
+                       label_ok: LabelFilter = _any_label
+                       ) -> dict[Oid, set[GraphObject]]:
+    """Map each node to everything reachable from it (excluding itself
+    unless it lies on a cycle)."""
+    closure: dict[Oid, set[GraphObject]] = {}
+    for node in graph.nodes():
+        hits = reachable(graph, node, label_ok, include_start=False)
+        if _on_cycle(graph, node, label_ok):
+            hits.add(node)
+        closure[node] = hits
+    return closure
+
+
+def _on_cycle(graph: Graph, node: Oid, label_ok: LabelFilter) -> bool:
+    for edge in graph.out_edges(node):
+        if not label_ok(edge.label):
+            continue
+        if edge.target == node:
+            return True
+        if isinstance(edge.target, Oid):
+            if node in reachable(graph, edge.target, label_ok):
+                return True
+    return False
+
+
+def weakly_connected_components(graph: Graph) -> list[set[Oid]]:
+    """Weakly connected components over the node set.
+
+    Atom targets tie their sources together: two nodes pointing at the
+    same atom land in the same component, matching the intuition that
+    shared content connects pages.
+    """
+    index: dict[GraphObject, int] = {}
+    components: list[set[Oid]] = []
+    for node in graph.nodes():
+        if node in index:
+            continue
+        component: set[Oid] = set()
+        queue: deque[GraphObject] = deque([node])
+        index[node] = len(components)
+        while queue:
+            current = queue.popleft()
+            if isinstance(current, Oid):
+                component.add(current)
+                neighbours: list[GraphObject] = (
+                    [e.target for e in graph.out_edges(current)]
+                    + [e.source for e in graph.in_edges(current)])
+            else:
+                neighbours = [e.source for e in graph.in_edges(current)]
+            for other in neighbours:
+                if other not in index:
+                    index[other] = len(components)
+                    queue.append(other)
+        components.append(component)
+    return components
+
+
+def iter_paths(graph: Graph, start: Oid, max_length: int,
+               label_ok: LabelFilter = _any_label) -> Iterator[list[Edge]]:
+    """Yield every simple edge path from ``start`` up to ``max_length``.
+
+    Used by the template language's bounded attribute-path traversal and
+    by tests; paths never revisit a node, so the enumeration terminates
+    on cyclic graphs.
+    """
+    def walk(node: Oid, path: list[Edge], visited: set[Oid]
+             ) -> Iterator[list[Edge]]:
+        if len(path) >= max_length:
+            return
+        for edge in graph.out_edges(node):
+            if not label_ok(edge.label):
+                continue
+            yield path + [edge]
+            target = edge.target
+            if isinstance(target, Oid) and target not in visited:
+                yield from walk(target, path + [edge], visited | {target})
+
+    yield from walk(start, [], {start})
+
+
+def graph_diameter(graph: Graph) -> int:
+    """Longest shortest-path (in edges) between any reachable node pair.
+
+    Infinite graphs cannot occur (the model is finite); disconnected
+    pairs are ignored.  Used by site-structure metrics in the benchmark
+    harness (the Fig 8 "complexity of structure" axis).
+    """
+    best = 0
+    for start in graph.nodes():
+        depths = _bfs_depths(graph, start)
+        if depths:
+            best = max(best, max(depths.values()))
+    return best
+
+
+def _bfs_depths(graph: Graph, start: Oid) -> dict[Oid, int]:
+    depths: dict[Oid, int] = {}
+    queue: deque[tuple[Oid, int]] = deque([(start, 0)])
+    seen: set[Oid] = {start}
+    while queue:
+        node, depth = queue.popleft()
+        for edge in graph.out_edges(node):
+            target = edge.target
+            if isinstance(target, Oid) and target not in seen:
+                seen.add(target)
+                depths[target] = depth + 1
+                queue.append((target, depth + 1))
+    return depths

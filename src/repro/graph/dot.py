@@ -1,0 +1,87 @@
+"""GraphViz (dot) export for data graphs and site graphs.
+
+Site schemas already render to dot (:meth:`SiteSchema.to_dot`); this
+module does the same for concrete graphs, which is the "visual summary"
+companion the paper's iterative site-design workflow wants — inspect the
+data graph after wrapping, or a site-graph fragment after a query.
+
+Large graphs are unreadable as pictures, so :func:`graph_to_dot` accepts
+a node limit and a ``keep`` predicate; atoms render as boxed leaves and
+can be suppressed entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.model import Graph, Oid
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def graph_to_dot(graph: Graph, max_nodes: int | None = None,
+                 include_atoms: bool = True,
+                 keep: Callable[[Oid], bool] | None = None,
+                 rankdir: str = "LR") -> str:
+    """Render ``graph`` as GraphViz dot text.
+
+    ``max_nodes`` truncates (breadth of insertion order) with an
+    ellipsis node; ``keep`` filters nodes; ``include_atoms`` controls
+    whether atomic values appear as boxed leaves (multi-referenced atoms
+    are shared).  Collection membership renders as a dashed edge from a
+    double-circled collection node.
+    """
+    nodes = [n for n in graph.nodes() if keep is None or keep(n)]
+    truncated = False
+    if max_nodes is not None and len(nodes) > max_nodes:
+        nodes = nodes[:max_nodes]
+        truncated = True
+    node_set = set(nodes)
+
+    lines = ["digraph strudel {", f"  rankdir={rankdir};",
+             "  node [fontsize=10];"]
+    for node in nodes:
+        lines.append(f"  {_quote(node.name)} [shape=ellipse];")
+
+    atom_ids: dict[int, str] = {}
+    atom_count = 0
+    for edge in graph.edges():
+        if edge.source not in node_set:
+            continue
+        if isinstance(edge.target, Oid):
+            if edge.target not in node_set:
+                continue
+            target_id = _quote(edge.target.name)
+        else:
+            if not include_atoms:
+                continue
+            key = id(edge.target)
+            if key not in atom_ids:
+                atom_count += 1
+                atom_ids[key] = f"atom{atom_count}"
+                text = str(edge.target.value)
+                if len(text) > 32:
+                    text = text[:29] + "..."
+                lines.append(f"  {atom_ids[key]} "
+                             f"[shape=box, label={_quote(text)}];")
+            target_id = atom_ids[key]
+        lines.append(f"  {_quote(edge.source.name)} -> {target_id} "
+                     f"[label={_quote(edge.label)}];")
+
+    for name in graph.collection_names():
+        members = [m for m in graph.collection(name)
+                   if isinstance(m, Oid) and m in node_set]
+        if not members:
+            continue
+        lines.append(f"  {_quote('collection: ' + name)} "
+                     f"[shape=doublecircle];")
+        for member in members:
+            lines.append(f"  {_quote('collection: ' + name)} -> "
+                         f"{_quote(member.name)} [style=dashed];")
+
+    if truncated:
+        lines.append('  "..." [shape=plaintext];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""GAV mediator for data integration (paper section 2.3)."""
+
+from repro.mediator.mediator import Mediator
+from repro.mediator.sources import DataSource, LimitedAccessSource, Loader
+
+__all__ = ["DataSource", "LimitedAccessSource", "Loader", "Mediator"]

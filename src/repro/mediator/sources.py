@@ -1,0 +1,65 @@
+"""Data sources for the mediator.
+
+A :class:`DataSource` pairs a name with a loader producing a graph and a
+version counter so the mediator can detect updates cheaply ("the data in
+the sources may change frequently", section 2.3).
+
+:class:`LimitedAccessSource` models the paper's observation that
+semistructured sources "often require that some inputs be given to
+access the data" (section 2.4): loading without the required parameters
+raises :class:`~repro.errors.AccessPatternError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AccessPatternError, MediatorError
+from repro.graph.model import Graph
+
+#: Produces a source's current graph.  Parameterless for ordinary
+#: sources; limited-access sources receive keyword parameters.
+Loader = Callable[..., Graph]
+
+
+class DataSource:
+    """One external source: a named, versioned graph loader."""
+
+    def __init__(self, name: str, loader: Loader) -> None:
+        if not name:
+            raise MediatorError("a data source needs a name")
+        self.name = name
+        self._loader = loader
+        self.version = 0
+        self.load_count = 0
+
+    def load(self, **parameters) -> Graph:
+        """Fetch the source's current contents as a graph."""
+        self.load_count += 1
+        graph = self._loader(**parameters)
+        graph.name = self.name
+        return graph
+
+    def touch(self) -> None:
+        """Mark the source updated (bumps the version counter)."""
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return f"DataSource({self.name!r}, version={self.version})"
+
+
+class LimitedAccessSource(DataSource):
+    """A source that can only be read with certain inputs bound."""
+
+    def __init__(self, name: str, loader: Loader,
+                 required: tuple[str, ...]) -> None:
+        super().__init__(name, loader)
+        self.required = tuple(required)
+
+    def load(self, **parameters) -> Graph:
+        missing = [r for r in self.required if r not in parameters]
+        if missing:
+            raise AccessPatternError(
+                f"source {self.name!r} requires inputs "
+                f"{', '.join(missing)}")
+        return super().load(**parameters)

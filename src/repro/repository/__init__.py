@@ -1,0 +1,15 @@
+"""Indexed data repository for semistructured data (paper section 2.2)."""
+
+from repro.repository.indexes import GraphIndex
+from repro.repository.repository import Repository
+from repro.repository.stats import GraphStatistics, LabelStats
+from repro.repository.storage import load_repository, save_repository
+
+__all__ = [
+    "GraphIndex",
+    "GraphStatistics",
+    "LabelStats",
+    "Repository",
+    "load_repository",
+    "save_repository",
+]

@@ -1,0 +1,52 @@
+"""Site layer: builder pipeline, site schemas, verification, dynamics."""
+
+from repro.site.builder import SiteMetrics, Website
+from repro.site.diff import RefreshResult, SiteDiff, diff_graphs, refresh_site
+from repro.site.forms import FormHandler, FormResponse, register_string_predicates
+from repro.site.incremental import DynamicSite, LazySiteGraph, PageView
+from repro.site.schema import NS, SchemaEdge, SiteSchema, build_site_schema
+from repro.site.server import DynamicSiteServer, Response, ServerLog
+from repro.site.verify import (
+    Connected,
+    PathReachability,
+    Constraint,
+    Finding,
+    ForbiddenContent,
+    ForbiddenLink,
+    ReachableFromRoot,
+    RequiredLink,
+    VerificationReport,
+    Verifier,
+)
+
+__all__ = [
+    "Connected",
+    "Constraint",
+    "DynamicSite",
+    "DynamicSiteServer",
+    "Finding",
+    "ForbiddenContent",
+    "FormHandler",
+    "FormResponse",
+    "ForbiddenLink",
+    "LazySiteGraph",
+    "NS",
+    "PageView",
+    "PathReachability",
+    "ReachableFromRoot",
+    "RefreshResult",
+    "RequiredLink",
+    "Response",
+    "SchemaEdge",
+    "ServerLog",
+    "SiteDiff",
+    "SiteMetrics",
+    "SiteSchema",
+    "VerificationReport",
+    "Verifier",
+    "Website",
+    "build_site_schema",
+    "diff_graphs",
+    "refresh_site",
+    "register_string_predicates",
+]

@@ -1,0 +1,268 @@
+"""Incremental / "click-time" evaluation of Web sites [FER 98c].
+
+    Another approach is to precompute the root(s) of a Web site, then
+    compute at click time the query that obtains the information
+    required to display the next page.  (paper, section 1)
+
+The decomposition: for each Skolem function ``F``, the query's flattened
+units contribute *page queries* — every ``link F(X) -> L -> T`` governed
+by conjunction ``Q`` becomes, for a concrete page ``F(a)``, the query
+``Q[X := a]`` whose rows yield the page's ``L`` attributes.  Computing a
+page therefore never materializes the whole site, only the bindings its
+own links need.
+
+:class:`DynamicSite` serves pages this way, with an optional result
+cache ("our optimization techniques cache query results to reduce click
+time for future queries").  :class:`LazySiteGraph` wraps a dynamic site
+behind the :class:`~repro.graph.Graph` interface so the HTML generator
+can render dynamic pages without a materialized site graph — the state
+the paper says must live "in a client-side browser and/or a server-side
+query processor" lives in the wrapper's materialized-page set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PageNotFoundError
+from repro.graph.model import Graph, GraphObject, Oid
+from repro.graph.values import Atom
+from repro.struql.ast import AggregateCond, Const, Query, SkolemTerm, Var
+from repro.struql.bindings import Binding, RuntimeValue, as_label
+from repro.struql.evaluator import QueryEngine, _enforce_aggregate_order
+from repro.struql.parser import parse_query
+from repro.struql.plan import ExecutionContext, Plan
+from repro.struql.rewriter import ConjunctiveUnit, flatten
+from repro.struql.skolem import SkolemRegistry
+
+
+@dataclass
+class PageView:
+    """One dynamically computed page: its outgoing edges and
+    collection memberships."""
+
+    oid: Oid
+    edges: list[tuple[str, GraphObject]] = field(default_factory=list)
+    collections: list[str] = field(default_factory=list)
+
+
+class DynamicSite:
+    """Serves site pages computed at click time from the data graph."""
+
+    def __init__(self, query: Query | str, data: Graph,
+                 engine: QueryEngine | None = None,
+                 cache: bool = True) -> None:
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.query = query
+        self.data = data
+        self.engine = engine or QueryEngine()
+        self.units = flatten(query)
+        self.skolem = SkolemRegistry()
+        self._cache_enabled = cache
+        self._page_cache: dict[Oid, PageView] = {}
+        self._bindings_cache: dict[tuple[int, tuple], list[Binding]] = {}
+        self._index = None
+        #: Click-time statistics for benchmarking.
+        self.stats = {"pages_computed": 0, "cache_hits": 0,
+                      "unit_evaluations": 0}
+
+    # -- roots -----------------------------------------------------------------
+
+    def roots(self) -> list[Oid]:
+        """The precomputable root pages: zero-argument Skolem creates."""
+        roots: dict[Oid, None] = {}
+        for unit in self.units:
+            for term in unit.creates:
+                if not term.args and not unit.conditions:
+                    roots.setdefault(self.skolem.apply(term.fn, ()), None)
+        return list(roots)
+
+    # -- page computation ------------------------------------------------------------
+
+    def get_page(self, oid: Oid) -> PageView:
+        """Compute (or fetch from cache) one page's view."""
+        if self._cache_enabled and oid in self._page_cache:
+            self.stats["cache_hits"] += 1
+            return self._page_cache[oid]
+        if oid.skolem_fn is None:
+            raise PageNotFoundError(oid)
+        view = self._compute(oid)
+        if self._cache_enabled:
+            self._page_cache[oid] = view
+        self.stats["pages_computed"] += 1
+        return view
+
+    def invalidate(self) -> None:
+        """Drop all cached results (after a data-graph update)."""
+        self._page_cache.clear()
+        self._bindings_cache.clear()
+        self._index = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _compute(self, oid: Oid) -> PageView:
+        fn = oid.skolem_fn
+        assert fn is not None
+        view = PageView(oid)
+        seen_edges: set[tuple[str, GraphObject]] = set()
+        for unit in self.units:
+            initial = None
+            relevant = False
+            for link in unit.links:
+                if link.source.fn == fn and \
+                        len(link.source.args) == len(oid.skolem_args):
+                    relevant = True
+            collecting = [c for c in unit.collects
+                          if isinstance(c.term, SkolemTerm)
+                          and c.term.fn == fn
+                          and len(c.term.args) == len(oid.skolem_args)]
+            if not relevant and not collecting:
+                continue
+            for link in unit.links:
+                if link.source.fn != fn or \
+                        len(link.source.args) != len(oid.skolem_args):
+                    continue
+                for row in self._unit_rows(unit, link.source, oid):
+                    label_value = self._resolve(link.label, row)
+                    label = as_label(label_value) if label_value is not None \
+                        else None
+                    target = self._resolve(link.target, row)
+                    if label is None or target is None:
+                        continue
+                    if isinstance(target, str):
+                        target = Atom.string(target)
+                    key = (label, target)
+                    if key not in seen_edges:
+                        seen_edges.add(key)
+                        view.edges.append(key)
+            for collect in collecting:
+                assert isinstance(collect.term, SkolemTerm)
+                for row in self._unit_rows(unit, collect.term, oid):
+                    if collect.name not in view.collections:
+                        view.collections.append(collect.name)
+        return view
+
+    def _unit_rows(self, unit: ConjunctiveUnit, source: SkolemTerm,
+                   oid: Oid) -> list[Binding]:
+        """Bindings of the unit's conditions consistent with ``oid``'s
+        Skolem arguments bound into the source term's variables."""
+        seed: Binding = {}
+        for arg_term, arg_value in zip(source.args, oid.skolem_args):
+            if isinstance(arg_term, Var):
+                seed[arg_term.name] = arg_value
+            elif isinstance(arg_term, Const):
+                from repro.struql.bindings import runtime_eq
+                if not runtime_eq(arg_term.value, arg_value):
+                    return []
+        key = (id(unit), tuple(sorted(seed.items(),
+                                      key=lambda kv: kv[0])),
+               tuple(str(v) for _, v in sorted(seed.items())))
+        if self._cache_enabled and key in self._bindings_cache:
+            self.stats["cache_hits"] += 1
+            return self._bindings_cache[key]
+        if self._index is None or not self._index.fresh:
+            from repro.repository.indexes import GraphIndex
+            self._index = GraphIndex.build(self.data)
+        ctx = ExecutionContext(self.data, index=self._index,
+                               predicates=self.engine.predicates)
+        # Aggregates partition the FULL binding relation.  Seeding the
+        # page's Skolem arguments before an aggregate whose group does
+        # not cover them would aggregate over the restricted rows and
+        # disagree with the materialized site, so such units evaluate
+        # unseeded and filter afterwards.
+        seeded = seed
+        post_filter: Binding = {}
+        for condition in unit.conditions:
+            if isinstance(condition, AggregateCond):
+                group_names = {g.name for g in condition.group}
+                if not set(seed) <= group_names:
+                    seeded, post_filter = {}, seed
+                    break
+        ordered = self.engine.optimizer.order(
+            unit.conditions, set(seeded), self.data, ctx.predicates, None)
+        ordered = _enforce_aggregate_order(ordered)
+        rows = Plan.from_conditions(ordered).execute(ctx, [dict(seeded)])
+        if post_filter:
+            from repro.struql.bindings import runtime_eq
+            rows = [row for row in rows
+                    if all(name in row and runtime_eq(row[name], value)
+                           for name, value in post_filter.items())]
+        self.stats["unit_evaluations"] += 1
+        if self._cache_enabled:
+            self._bindings_cache[key] = rows
+        return rows
+
+    def _resolve(self, term, row: Binding) -> RuntimeValue | None:
+        if isinstance(term, Const):
+            return term.value
+        if isinstance(term, Var):
+            return row.get(term.name)
+        if isinstance(term, SkolemTerm):
+            args = []
+            for arg in term.args:
+                value = self._resolve(arg, row)
+                if value is None:
+                    return None
+                args.append(value)
+            return self.skolem.apply(term.fn, args)
+        raise TypeError(f"not a term: {term!r}")
+
+
+class LazySiteGraph(Graph):
+    """A :class:`Graph` facade over a :class:`DynamicSite`.
+
+    Pages materialize into the underlying graph structures on first
+    access, so the HTML generator (which only reads outgoing edges and
+    collection memberships) renders against it unmodified.  Incoming
+    edges are complete only for already-materialized pages — sufficient
+    for serving, by construction of the template language's bounded
+    forward traversals.
+    """
+
+    def __init__(self, site: DynamicSite) -> None:
+        super().__init__(site.query.output_name)
+        self._site = site
+        self._materialized: set[Oid] = set()
+        for root in site.roots():
+            self.add_node(root)
+
+    def ensure(self, oid: Oid) -> None:
+        """Materialize ``oid``'s page if it is dynamic and not yet done."""
+        if oid in self._materialized or oid.skolem_fn is None:
+            return
+        self._materialized.add(oid)
+        view = self._site.get_page(oid)
+        self.add_node(oid)
+        for label, target in view.edges:
+            self.add_edge(oid, label, target)
+        for name in view.collections:
+            self.add_to_collection(name, oid)
+
+    # -- read paths used by the HTML generator ------------------------------------
+
+    def out_edges(self, source: Oid):  # type: ignore[override]
+        self.ensure(source)
+        return super().out_edges(source)
+
+    def get(self, source: Oid, label: str):  # type: ignore[override]
+        self.ensure(source)
+        return super().get(source, label)
+
+    def get_one(self, source: Oid, label: str, default=None):  # type: ignore[override]
+        self.ensure(source)
+        return super().get_one(source, label, default)
+
+    def labels_of(self, source: Oid):  # type: ignore[override]
+        self.ensure(source)
+        return super().labels_of(source)
+
+    def collections_of(self, obj):  # type: ignore[override]
+        if isinstance(obj, Oid):
+            self.ensure(obj)
+        return super().collections_of(obj)
+
+    @property
+    def materialized_count(self) -> int:
+        """How many pages have been computed so far."""
+        return len(self._materialized)

@@ -1,0 +1,135 @@
+"""A dynamic page server simulation over click-time evaluation.
+
+The paper notes STRUDEL's prototype precomputes sites and that
+supporting dynamic generation "requires significant systems-design
+effort"; this module provides the in-process equivalent: a
+:class:`DynamicSiteServer` that answers page requests by computing the
+requested page's query at click time (through
+:class:`~repro.site.incremental.DynamicSite` /
+:class:`~repro.site.incremental.LazySiteGraph`) and rendering it with
+the ordinary HTML generator.  Request latencies are recorded, so the
+materialized-vs-dynamic trade-off of benchmark A3 can be measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import PageNotFoundError
+from repro.graph.model import Graph, Oid
+from repro.site.incremental import DynamicSite, LazySiteGraph
+from repro.struql.ast import Query
+from repro.struql.evaluator import QueryEngine
+from repro.templates.generator import HtmlGenerator, TemplateSet
+
+
+@dataclass
+class Response:
+    """One served page."""
+
+    oid: Oid
+    status: int
+    body: str
+    seconds: float
+
+
+@dataclass
+class ServerLog:
+    """Aggregated request statistics."""
+
+    requests: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-request seconds (0 when nothing served)."""
+        return self.total_seconds / self.requests if self.requests else 0.0
+
+
+class DynamicSiteServer:
+    """Serves one site's pages, computing each at click time."""
+
+    def __init__(self, query: Query | str, data: Graph,
+                 templates: TemplateSet,
+                 engine: QueryEngine | None = None,
+                 cache: bool = True, loader=None) -> None:
+        self.site = DynamicSite(query, data, engine=engine, cache=cache)
+        self.graph = LazySiteGraph(self.site)
+        self.generator = HtmlGenerator(self.graph, templates, loader=loader)
+        self.log = ServerLog()
+
+    # -- routing -------------------------------------------------------------
+
+    def roots(self) -> list[Oid]:
+        """The site's precomputed entry points."""
+        return self.site.roots()
+
+    def resolve_path(self, path: str) -> Oid | None:
+        """Map a URL path back to a page oid (inverse of ``url_for``)."""
+        wanted = path.lstrip("/")
+        for node in list(self.graph.nodes()):
+            if self.generator.url_for(node) == wanted:
+                return node
+        return None
+
+    def request(self, page: Oid | str) -> Response:
+        """Serve one page by oid or URL path."""
+        started = time.perf_counter()
+        self.log.requests += 1
+        oid = page if isinstance(page, Oid) else self.resolve_path(page)
+        try:
+            if oid is None:
+                raise PageNotFoundError(page)
+            self.graph.ensure(oid)
+            if not self.graph.has_node(oid):
+                raise PageNotFoundError(oid)
+            body = self.generator.render(oid)
+            status = 200
+        except PageNotFoundError:
+            body = "<h1>404 Not Found</h1>"
+            status = 404
+            self.log.errors += 1
+        elapsed = time.perf_counter() - started
+        self.log.total_seconds += elapsed
+        self.log.latencies.append(elapsed)
+        return Response(oid if isinstance(oid, Oid) else Oid("<unknown>"),
+                        status, body, elapsed)
+
+    def crawl(self, start: Oid | None = None,
+              limit: int | None = None) -> list[Response]:
+        """Breadth-first crawl following page links (a synthetic user).
+
+        Serves ``start`` (default: the first root) and every page
+        reachable from it, up to ``limit`` pages.
+        """
+        roots = [start] if start is not None else self.roots()[:1]
+        if not roots:
+            return []
+        out: list[Response] = []
+        queue: list[Oid] = list(roots)
+        seen: set[Oid] = set(queue)
+        while queue:
+            if limit is not None and len(out) >= limit:
+                break
+            oid = queue.pop(0)
+            response = self.request(oid)
+            out.append(response)
+            for edge in self.graph.out_edges(oid):
+                target = edge.target
+                if isinstance(target, Oid) and target not in seen \
+                        and target.skolem_fn is not None \
+                        and self.generator.is_page(target):
+                    seen.add(target)
+                    queue.append(target)
+        return out
+
+    def invalidate(self) -> None:
+        """Propagate a data-graph update: drop caches and lazily rebuild."""
+        self.site.invalidate()
+        fresh = LazySiteGraph(self.site)
+        self.graph = fresh
+        self.generator = HtmlGenerator(fresh, self.generator.templates,
+                                       loader=self.generator.loader)

@@ -1,0 +1,299 @@
+"""Integrity-constraint verification on Web sites [FER 98b].
+
+The paper's motivating constraints (section 1): "all pages are reachable
+from the root, every organization homepage points to the homepages of
+its suborganization, or proprietary data is not displayed on the
+external version of the site".  Site schemas are "the basic tool used
+for verifying integrity constraints on the structure of a site".
+
+Each constraint here verifies at two levels where both make sense:
+
+* **schema level** — a static check over the :class:`SiteSchema`, i.e.
+  over *all* sites the query can generate (sound necessary conditions);
+* **graph level** — a check over one concrete site graph, producing
+  witness nodes for violations.
+
+:class:`Verifier` runs a constraint set and returns a
+:class:`VerificationReport`; :meth:`Verifier.verify_or_raise` raises
+:class:`~repro.errors.ConstraintViolation` on the first failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ConstraintViolation
+from repro.graph.algorithms import unreachable_from
+from repro.graph.model import Graph, GraphObject, Oid
+from repro.graph.values import Atom
+from repro.site.schema import NS, SiteSchema
+
+
+@dataclass
+class Finding:
+    """One verification outcome for one constraint."""
+
+    constraint: str
+    level: str                  # "schema" | "graph"
+    ok: bool
+    witnesses: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "VIOLATED"
+        detail = f" ({'; '.join(self.witnesses[:3])})" if self.witnesses \
+            else ""
+        return f"[{self.level}] {self.constraint}: {status}{detail}"
+
+
+@dataclass
+class VerificationReport:
+    """All findings from one verification run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every constraint held."""
+        return all(f.ok for f in self.findings)
+
+    def violations(self) -> list[Finding]:
+        """The failed findings."""
+        return [f for f in self.findings if not f.ok]
+
+    def __str__(self) -> str:
+        return "\n".join(str(f) for f in self.findings) or "(no constraints)"
+
+
+class Constraint:
+    """Base class for site constraints."""
+
+    name = "constraint"
+
+    def check_schema(self, schema: SiteSchema) -> Finding | None:
+        """Static check; ``None`` when the constraint has no schema form."""
+        return None
+
+    def check_graph(self, graph: Graph) -> Finding | None:
+        """Concrete-site check; ``None`` when not applicable."""
+        return None
+
+
+class ReachableFromRoot(Constraint):
+    """"All pages are reachable from the root."
+
+    Schema level: every schema node is reachable from the root Skolem
+    function's node.  Graph level: every site-graph node is reachable
+    from the root function's pages.
+    """
+
+    def __init__(self, root_fn: str) -> None:
+        self.root_fn = root_fn
+        self.name = f"reachable-from-{root_fn}"
+
+    def check_schema(self, schema: SiteSchema) -> Finding:
+        if self.root_fn not in schema.nodes:
+            return Finding(self.name, "schema", False,
+                           [f"no Skolem function {self.root_fn!r} in schema"])
+        reachable = schema.reachable_from(self.root_fn)
+        missing = [n for n in schema.nodes
+                   if n not in reachable and n != NS]
+        return Finding(self.name, "schema", not missing,
+                       [f"unreachable schema node {n}" for n in missing])
+
+    def check_graph(self, graph: Graph) -> Finding:
+        roots = [n for n in graph.nodes() if n.skolem_fn == self.root_fn]
+        if not roots:
+            return Finding(self.name, "graph", False,
+                           [f"no pages created by {self.root_fn!r}"])
+        missing = unreachable_from(graph, roots)
+        return Finding(self.name, "graph", not missing,
+                       [f"unreachable page {n}" for n in sorted(
+                           missing, key=str)])
+
+
+class RequiredLink(Constraint):
+    """"Every F page points to a G page via label L" — e.g. "every
+    organization homepage points to the homepages of its
+    suborganizations"."""
+
+    def __init__(self, source_fn: str, label: str,
+                 target_fn: str | None = None) -> None:
+        self.source_fn = source_fn
+        self.label = label
+        self.target_fn = target_fn
+        goal = target_fn or "*"
+        self.name = f"required-link-{source_fn}-{label}->{goal}"
+
+    def check_schema(self, schema: SiteSchema) -> Finding:
+        for edge in schema.out_edges(self.source_fn):
+            if edge.label == self.label and not edge.label_is_var:
+                if self.target_fn is None or edge.target == self.target_fn:
+                    return Finding(self.name, "schema", True)
+        # An arc-variable edge may carry any label at run time: only a
+        # graph-level check can decide, so report "possible" as ok=True
+        # when one exists, else a definite schema violation.
+        if any(e.label_is_var for e in schema.out_edges(self.source_fn)):
+            return Finding(self.name, "schema", True,
+                           ["satisfied only via arc-variable edge; "
+                            "confirm at graph level"])
+        return Finding(self.name, "schema", False,
+                       [f"no {self.label!r} link out of {self.source_fn}"])
+
+    def check_graph(self, graph: Graph) -> Finding:
+        witnesses = []
+        for node in graph.nodes():
+            if node.skolem_fn != self.source_fn:
+                continue
+            targets = graph.get(node, self.label)
+            if self.target_fn is not None:
+                targets = [t for t in targets if isinstance(t, Oid)
+                           and t.skolem_fn == self.target_fn]
+            if not targets:
+                witnesses.append(f"page {node} lacks {self.label!r} link")
+        return Finding(self.name, "graph", not witnesses, witnesses)
+
+
+class ForbiddenLink(Constraint):
+    """"No F page carries an L link" — structural exclusion."""
+
+    def __init__(self, source_fn: str, label: str) -> None:
+        self.source_fn = source_fn
+        self.label = label
+        self.name = f"forbidden-link-{source_fn}-{label}"
+
+    def check_schema(self, schema: SiteSchema) -> Finding:
+        hits = [e for e in schema.out_edges(self.source_fn)
+                if e.label == self.label and not e.label_is_var]
+        maybe = [e for e in schema.out_edges(self.source_fn)
+                 if e.label_is_var]
+        witnesses = [f"schema edge {e}" for e in hits]
+        witnesses += [f"possible via arc variable: {e}" for e in maybe]
+        return Finding(self.name, "schema", not hits, witnesses)
+
+    def check_graph(self, graph: Graph) -> Finding:
+        witnesses = []
+        for node in graph.nodes():
+            if node.skolem_fn == self.source_fn and \
+                    graph.get(node, self.label):
+                witnesses.append(f"page {node} has {self.label!r} link")
+        return Finding(self.name, "graph", not witnesses, witnesses)
+
+
+class ForbiddenContent(Constraint):
+    """"Proprietary data is not displayed on the external version."
+
+    Fails for every atom in the site graph satisfying ``predicate``
+    (e.g. membership in a proprietary-values set).
+    """
+
+    def __init__(self, name: str,
+                 predicate: Callable[[Atom], bool]) -> None:
+        self.name = f"forbidden-content-{name}"
+        self.predicate = predicate
+
+    def check_graph(self, graph: Graph) -> Finding:
+        witnesses = []
+        for edge in graph.edges():
+            if isinstance(edge.target, Atom) and self.predicate(edge.target):
+                witnesses.append(
+                    f"{edge.source} -{edge.label}-> {edge.target}")
+        return Finding(self.name, "graph", not witnesses, witnesses)
+
+
+class PathReachability(Constraint):
+    """"Every F page is reachable from some G page via path R."
+
+    The paper: regular path expressions "can express integrity
+    constraints on a site graph, e.g. [...] 'every department member is
+    reachable from a department page'".  ``path_text`` is a regular
+    path expression in StruQL's surface syntax (e.g. ``"Member" |
+    "Org"."Member"`` or ``*``).
+    """
+
+    def __init__(self, source_fn: str, path_text: str,
+                 target_fn: str) -> None:
+        self.source_fn = source_fn
+        self.target_fn = target_fn
+        self.path_text = path_text
+        self.name = (f"path-reach-{source_fn}-({path_text})->"
+                     f"{target_fn}")
+        # Parse the expression through a tiny wrapper query.
+        from repro.struql.parser import parse_query
+        probe = parse_query(
+            f"input G where x -> {path_text} -> y create F(x) output O")
+        condition = next(c for b in probe.blocks() for c in b.conditions)
+        if condition.path is None:
+            raise ValueError(
+                f"{path_text!r} is an arc variable, not a path "
+                f"expression; quote constant labels")
+        self._expr = condition.path
+
+    def check_graph(self, graph: Graph) -> Finding:
+        from repro.struql.paths import PathEvaluator
+        from repro.struql.predicates import default_registry
+        evaluator = PathEvaluator(self._expr, default_registry())
+        sources = [n for n in graph.nodes()
+                   if n.skolem_fn == self.source_fn]
+        witnesses = []
+        for node in graph.nodes():
+            if node.skolem_fn != self.target_fn:
+                continue
+            reachers = evaluator.backward(graph, node)
+            if not any(isinstance(r, Oid)
+                       and r.skolem_fn == self.source_fn
+                       for r in reachers):
+                witnesses.append(
+                    f"{node} unreachable from any {self.source_fn} "
+                    f"page via {self.path_text}")
+        if not sources:
+            witnesses.insert(0, f"no {self.source_fn} pages exist")
+        return Finding(self.name, "graph", not witnesses, witnesses)
+
+
+class Connected(Constraint):
+    """The site graph is one weakly connected component."""
+
+    name = "connected"
+
+    def check_graph(self, graph: Graph) -> Finding:
+        from repro.graph.algorithms import weakly_connected_components
+        components = weakly_connected_components(graph)
+        ok = len(components) <= 1
+        witnesses = []
+        if not ok:
+            for component in components[1:]:
+                sample = sorted(component, key=str)[:2]
+                witnesses.append(
+                    f"separate component containing "
+                    f"{', '.join(str(s) for s in sample)}")
+        return Finding(self.name, "graph", ok, witnesses)
+
+
+class Verifier:
+    """Runs a constraint set against a schema and/or a site graph."""
+
+    def __init__(self, constraints: Iterable[Constraint]) -> None:
+        self.constraints = list(constraints)
+
+    def verify(self, graph: Graph | None = None,
+               schema: SiteSchema | None = None) -> VerificationReport:
+        """Check every constraint at every applicable level."""
+        report = VerificationReport()
+        for constraint in self.constraints:
+            if schema is not None:
+                finding = constraint.check_schema(schema)
+                if finding is not None:
+                    report.findings.append(finding)
+            if graph is not None:
+                finding = constraint.check_graph(graph)
+                if finding is not None:
+                    report.findings.append(finding)
+        return report
+
+    def verify_or_raise(self, graph: Graph | None = None,
+                        schema: SiteSchema | None = None) -> None:
+        """Raise :class:`ConstraintViolation` on the first violation."""
+        report = self.verify(graph=graph, schema=schema)
+        for finding in report.violations():
+            raise ConstraintViolation(finding.constraint, finding.witnesses)

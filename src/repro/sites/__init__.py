@@ -1,0 +1,72 @@
+"""Reference site definitions used by examples, tests and benchmarks.
+
+One module per site the paper reports on in section 5.1:
+
+* :mod:`repro.sites.homepage` — the running example (Fig 2/3/7) and the
+  scaled "mff" homepage with internal/external template variants;
+* :mod:`repro.sites.cnn` — the CNN demonstration and its sports-only
+  derived site;
+* :mod:`repro.sites.org` — the AT&T Labs internal/external pair over
+  five mediated sources;
+* :mod:`repro.sites.rodin` — the bilingual INRIA-Rodin site.
+"""
+
+from repro.sites.cnn import (
+    CNN_QUERY,
+    SPORTS_QUERY,
+    build_cnn_site,
+    cnn_templates,
+)
+from repro.sites.homepage import (
+    FIG2_DDL,
+    FIG3_QUERY,
+    MFF_EXTERNAL_OVERRIDES,
+    MFF_QUERY,
+    PERSONAL_DDL,
+    build_homepage_site,
+    build_mff_site,
+    fig2_data,
+    fig7_templates,
+    mff_data,
+    mff_templates,
+)
+from repro.sites.org import (
+    EXTERNAL_OVERRIDES,
+    ORG_EXTERNAL_QUERY,
+    ORG_QUERY,
+    build_org_site,
+    org_templates,
+)
+from repro.sites.rodin import (
+    RODIN_QUERY,
+    build_rodin_site,
+    generate_rodin_records,
+    rodin_templates,
+)
+
+__all__ = [
+    "CNN_QUERY",
+    "EXTERNAL_OVERRIDES",
+    "FIG2_DDL",
+    "FIG3_QUERY",
+    "MFF_EXTERNAL_OVERRIDES",
+    "MFF_QUERY",
+    "PERSONAL_DDL",
+    "ORG_EXTERNAL_QUERY",
+    "ORG_QUERY",
+    "RODIN_QUERY",
+    "SPORTS_QUERY",
+    "build_cnn_site",
+    "build_homepage_site",
+    "build_mff_site",
+    "build_org_site",
+    "build_rodin_site",
+    "cnn_templates",
+    "fig2_data",
+    "fig7_templates",
+    "generate_rodin_records",
+    "mff_data",
+    "mff_templates",
+    "org_templates",
+    "rodin_templates",
+]

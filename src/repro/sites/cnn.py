@@ -1,0 +1,125 @@
+"""The CNN demonstration site (paper section 5.1).
+
+    Our first example was a demonstration version of the CNN Web site.
+    [...] we mapped their HTML pages into a data graph containing about
+    300 articles.  Our version of the CNN site is defined by a 44-line
+    query and nine templates.  To demonstrate STRUDEL's ability to
+    generate multiple sites from one database, we also generated a
+    "sports only" site that has the same structure as the general site,
+    but contains articles on sports subjects.  The sports-only query is
+    derived from the original query and only differs in two extra
+    predicates in one where clause.  The same HTML templates are used in
+    both sites.
+
+The data graph comes from :func:`repro.datagen.generate_news_graph`
+(synthetic articles wrapped from HTML).  :data:`CNN_QUERY` builds a
+front page, per-section pages, per-day pages, per-article pages and
+summary presentations with related-story cross links.
+:data:`SPORTS_QUERY` is derived mechanically: the same text with two
+extra predicates (``a -> "meta-section" -> sec`` and
+``sec = "sports"``) in the main where clause.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.news import generate_news_graph
+from repro.graph.model import Graph
+from repro.site.builder import Website
+from repro.templates.generator import TemplateSet
+
+CNN_QUERY = """
+INPUT CNN
+// Front page and the section index
+CREATE FrontPage()
+// One page and one summary presentation per article
+{ WHERE Articles(a), a -> l -> v                                // Q1
+  CREATE ArticlePage(a), Summary(a)
+  LINK ArticlePage(a) -> l -> v
+  { // Summaries carry only headline material
+    WHERE l = "title"                                           // Q2
+    LINK Summary(a) -> "title" -> v,
+         Summary(a) -> "Full" -> ArticlePage(a)
+  }
+  { WHERE l = "meta-byline"                                     // Q3
+    LINK Summary(a) -> "byline" -> v
+  }
+  { // One page per section, linked from the front page
+    WHERE l = "meta-section"                                    // Q4
+    CREATE SectionPage(v)
+    LINK SectionPage(v) -> "Name" -> v,
+         SectionPage(v) -> "Story" -> Summary(a),
+         FrontPage() -> "Section" -> SectionPage(v)
+  }
+  { // One page per day, a simple archive
+    WHERE l = "meta-day"                                        // Q5
+    CREATE DayPage(v)
+    LINK DayPage(v) -> "Day" -> v,
+         DayPage(v) -> "Story" -> Summary(a),
+         FrontPage() -> "Archive" -> DayPage(v)
+  }
+}
+// Cross links between related articles
+{ WHERE Articles(a), a -> "link" -> b, Articles(b)              // Q6
+  LINK ArticlePage(a) -> "Related" -> Summary(b)
+}
+OUTPUT CNNSite
+"""
+
+#: Derived query: identical except for two extra predicates in Q1
+#: restricting to the sports section (the paper's sports-only site).
+SPORTS_QUERY = CNN_QUERY.replace(
+    'WHERE Articles(a), a -> l -> v                                // Q1',
+    'WHERE Articles(a), a -> l -> v, '
+    'a -> "meta-section" -> sec, sec = "sports"                    // Q1',
+).replace(
+    'WHERE Articles(a), a -> "link" -> b, Articles(b)              // Q6',
+    'WHERE Articles(a), a -> "link" -> b, Articles(b), '
+    'a -> "meta-section" -> sa, sa = "sports", '
+    'b -> "meta-section" -> sb, sb = "sports"                      // Q6',
+).replace("OUTPUT CNNSite", "OUTPUT SportsSite")
+
+
+def cnn_templates() -> TemplateSet:
+    """The shared templates (used verbatim by both site versions)."""
+    templates = TemplateSet()
+    templates.add("FrontPage", """<HTML><HEAD><TITLE>News</TITLE></HEAD>
+<BODY>
+<H1>Today's News</H1>
+<H2>Sections</H2>
+<SFMTLIST @Section ORDER=ascend KEY=Name WRAP=UL>
+<H2>Archive</H2>
+<SFMTLIST @Archive ORDER=ascend KEY=Day WRAP=OL>
+</BODY></HTML>""")
+    templates.add("SectionPage", """<HTML><HEAD><TITLE>Section</TITLE></HEAD>
+<BODY>
+<H1>Section: <SFMT @Name></H1>
+<SFMTLIST @Story FORMAT=EMBED DELIM="<HR>">
+</BODY></HTML>""")
+    templates.add("DayPage", """<HTML><HEAD><TITLE>Archive</TITLE></HEAD>
+<BODY>
+<H1>Stories from day <SFMT @Day></H1>
+<SFMTLIST @Story FORMAT=EMBED DELIM="<HR>">
+</BODY></HTML>""")
+    templates.add("Summary", """<P><B><SFMT @title></B>
+<SIF @byline> — <SFMT @byline></SIF>
+<SFMT @Full TAG="full story"></P>""", as_page=False)
+    templates.add("ArticlePage", """<HTML><HEAD><TITLE><SFMT @title></TITLE></HEAD>
+<BODY>
+<H1><SFMT @title></H1>
+<SIF @meta-byline><P>By <SFMT @meta-byline></P></SIF>
+<SIF @image><SFMT @image></SIF>
+<P><SFMT @text></P>
+<SIF @Related><H3>Related stories</H3>
+<SFMTLIST @Related FORMAT=EMBED DELIM="<BR>"></SIF>
+</BODY></HTML>""")
+    return templates
+
+
+def build_cnn_site(data: Graph | None = None, sports_only: bool = False,
+                   articles: int = 300, seed: int = 11) -> Website:
+    """The general or sports-only news site over the synthetic corpus."""
+    if data is None:
+        data = generate_news_graph(articles, seed=seed, graph_name="CNN")
+    data.name = "CNN"
+    query = SPORTS_QUERY if sports_only else CNN_QUERY
+    return Website(data, query, cnn_templates())

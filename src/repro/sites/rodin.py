@@ -1,0 +1,126 @@
+"""The INRIA-Rodin bilingual site (paper section 5.1).
+
+    We are also working on a STRUDEL-generated version of the
+    INRIA-Rodin Web site [...].  Its main feature is that the site has
+    two views: one English and one French.  The two sites are
+    cross-linked so that each English page is linked to the equivalent
+    page in the French site and vice versa.  One StruQL query defines
+    both views and creates the links between them.
+
+The data is a small bilingual project/member database in the structured
+record format (each record carries ``name_en``/``name_fr`` and
+``blurb_en``/``blurb_fr`` attributes); :data:`RODIN_QUERY` creates an
+``EPage``/``FPage`` pair per object and the ``French``/``English``
+cross links in one query, exactly the paper's construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.model import Graph
+from repro.site.builder import Website
+from repro.templates.generator import TemplateSet
+from repro.wrappers.structured_file import StructuredFileWrapper
+
+_TOPICS_EN = ["query optimization", "semistructured data", "mediators",
+              "views", "data integration", "web sites"]
+_TOPICS_FR = ["l'optimisation de requêtes", "les données semi-structurées",
+              "les médiateurs", "les vues", "l'intégration de données",
+              "les sites web"]
+
+_MEMBERS = ["daniela", "francoise", "ioana", "jerome", "sophie",
+            "vincent", "benoit", "claire"]
+
+
+def generate_rodin_records(projects: int = 8, seed: int = 31) -> str:
+    """The bilingual record file feeding the Rodin site."""
+    rng = random.Random(seed)
+    records = []
+    for index in range(projects):
+        topic = rng.randrange(len(_TOPICS_EN))
+        name = f"rodin{index + 1}"
+        lines = [
+            f"id: {name}",
+            f"name_en: Project {name.upper()}",
+            f"name_fr: Projet {name.upper()}",
+            f"blurb_en: Research on {_TOPICS_EN[topic]}.",
+            f"blurb_fr: Recherche sur {_TOPICS_FR[topic]}.",
+        ]
+        for member in rng.sample(_MEMBERS, rng.randint(1, 4)):
+            lines.append(f"member: {member}")
+        records.append("\n".join(lines))
+    return "\n\n".join(records)
+
+
+#: One query, two views, cross-linked ("One StruQL query defines both
+#: views and creates the links between them").
+RODIN_QUERY = """
+INPUT RODIN
+CREATE ERoot(), FRoot()
+LINK ERoot() -> "French" -> FRoot(),
+     FRoot() -> "English" -> ERoot()
+{ WHERE Records(r)                                              // Q1
+  CREATE EPage(r), FPage(r)
+  LINK ERoot() -> "Project" -> EPage(r),
+       FRoot() -> "Projet" -> FPage(r),
+       EPage(r) -> "French" -> FPage(r),
+       FPage(r) -> "English" -> EPage(r)
+  { WHERE r -> "name_en" -> n                                   // Q2
+    LINK EPage(r) -> "name" -> n }
+  { WHERE r -> "name_fr" -> n                                   // Q3
+    LINK FPage(r) -> "name" -> n }
+  { WHERE r -> "blurb_en" -> b                                  // Q4
+    LINK EPage(r) -> "blurb" -> b }
+  { WHERE r -> "blurb_fr" -> b                                  // Q5
+    LINK FPage(r) -> "blurb" -> b }
+  { WHERE r -> "member" -> m                                    // Q6
+    LINK EPage(r) -> "member" -> m,
+         FPage(r) -> "membre" -> m }
+}
+OUTPUT RodinSite
+"""
+
+
+def rodin_templates() -> TemplateSet:
+    """Templates for both language views."""
+    templates = TemplateSet()
+    templates.add("ERoot", """<HTML><HEAD><TITLE>Rodin Project</TITLE></HEAD>
+<BODY>
+<H1>The Rodin Project</H1>
+<P><SFMT @French TAG="Version française"></P>
+<SFMTLIST @Project ORDER=ascend KEY=name WRAP=UL>
+</BODY></HTML>""")
+    templates.add("FRoot", """<HTML><HEAD><TITLE>Projet Rodin</TITLE></HEAD>
+<BODY>
+<H1>Le projet Rodin</H1>
+<P><SFMT @English TAG="English version"></P>
+<SFMTLIST @Projet ORDER=ascend KEY=name WRAP=UL>
+</BODY></HTML>""")
+    templates.add("EPage", """<HTML><HEAD><TITLE><SFMT @name></TITLE></HEAD>
+<BODY>
+<H1><SFMT @name></H1>
+<P><SFMT @blurb></P>
+<H2>Members</H2>
+<SFMTLIST @member ORDER=ascend WRAP=UL>
+<P><SFMT @French TAG="Version française"></P>
+</BODY></HTML>""")
+    templates.add("FPage", """<HTML><HEAD><TITLE><SFMT @name></TITLE></HEAD>
+<BODY>
+<H1><SFMT @name></H1>
+<P><SFMT @blurb></P>
+<H2>Membres</H2>
+<SFMTLIST @membre ORDER=ascend WRAP=UL>
+<P><SFMT @English TAG="English version"></P>
+</BODY></HTML>""")
+    return templates
+
+
+def build_rodin_site(data: Graph | None = None, projects: int = 8,
+                     seed: int = 31) -> Website:
+    """The bilingual Rodin site."""
+    if data is None:
+        data = StructuredFileWrapper(collection="Records").wrap(
+            generate_rodin_records(projects, seed), "RODIN")
+    data.name = "RODIN"
+    return Website(data, RODIN_QUERY, rodin_templates())

@@ -1,0 +1,77 @@
+"""StruQL — Site TRansformation Und Query Language (paper section 3)."""
+
+from repro.struql.ast import (
+    ANY_PATH,
+    AnyLabel,
+    Block,
+    CollectSpec,
+    ComparisonCond,
+    Condition,
+    Const,
+    InCond,
+    LabelEquals,
+    LabelPredicate,
+    LinkSpec,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    Query,
+    RAlt,
+    RConcat,
+    RegularPath,
+    RLabel,
+    RStar,
+    SkolemTerm,
+    Var,
+)
+from repro.struql.analysis import Warning as RangeWarning
+from repro.struql.analysis import analyze, is_range_restricted
+from repro.struql.builder import QueryBuilder
+from repro.struql.evaluator import QueryEngine, QueryResult, evaluate
+from repro.struql.parser import StruQLParser, parse_query
+from repro.struql.paths import PathAutomaton, PathEvaluator, compile_path
+from repro.struql.plan import ExecutionContext, Plan
+from repro.struql.predicates import PredicateRegistry, default_registry
+from repro.struql.skolem import SkolemRegistry
+
+__all__ = [
+    "ANY_PATH",
+    "AnyLabel",
+    "Block",
+    "CollectSpec",
+    "ComparisonCond",
+    "Condition",
+    "Const",
+    "ExecutionContext",
+    "InCond",
+    "LabelEquals",
+    "LabelPredicate",
+    "LinkSpec",
+    "MembershipCond",
+    "NotCond",
+    "PathAutomaton",
+    "PathCond",
+    "PathEvaluator",
+    "Plan",
+    "PredicateRegistry",
+    "Query",
+    "QueryBuilder",
+    "RangeWarning",
+    "QueryEngine",
+    "QueryResult",
+    "RAlt",
+    "RConcat",
+    "RLabel",
+    "RStar",
+    "RegularPath",
+    "SkolemRegistry",
+    "SkolemTerm",
+    "StruQLParser",
+    "Var",
+    "analyze",
+    "compile_path",
+    "default_registry",
+    "evaluate",
+    "is_range_restricted",
+    "parse_query",
+]

@@ -1,0 +1,295 @@
+"""A programmatic StruQL builder — the QBE direction of section 6.
+
+    Many potential users of STRUDEL asked whether we can provide a
+    friendly visual interface for specifying queries, instead of having
+    to write StruQL queries by hand.
+
+A graphical editor needs a structured construction API underneath; this
+module is that API, usable directly from Python.  It builds exactly the
+same checked :class:`~repro.struql.ast.Query` values the parser
+produces, so everything downstream (engine, site schemas, verification,
+incremental evaluation) works unchanged.
+
+Example — the Fig 3 query, programmatically::
+
+    from repro.struql.builder import (QueryBuilder, var, skolem,
+                                      member, edge, eq)
+
+    x, l, v = var("x"), var("l"), var("v")
+    b = QueryBuilder("BIBTEX", output="HomePage")
+    b.create(skolem("RootPage"), skolem("AbstractsPage"))
+    b.link(skolem("RootPage"), "AbstractsPage", skolem("AbstractsPage"))
+    with b.where(member("Publications", x), edge(x, l, v)):
+        b.create(skolem("PaperPresentation", x), skolem("AbstractPage", x))
+        b.link(skolem("AbstractPage", x), l, v)
+        with b.where(eq(l, "year")):
+            b.create(skolem("YearPage", v))
+            b.link(skolem("YearPage", v), "Year", v)
+    query = b.build()
+
+``with b.where(...)`` opens a nested block whose conditions conjoin with
+its ancestors', mirroring the textual ``{ WHERE ... }``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.graph.values import Atom
+from repro.struql.ast import (
+    ANY_PATH,
+    AnyLabel,
+    Block,
+    CollectSpec,
+    ComparisonCond,
+    Condition,
+    Const,
+    InCond,
+    LabelEquals,
+    LabelPredicate,
+    LinkSpec,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    Query,
+    RAlt,
+    RConcat,
+    RegularPath,
+    RLabel,
+    RStar,
+    SkolemTerm,
+    Term,
+    Var,
+)
+from repro.struql.parser import _check_semantics
+
+#: Values accepted wherever a term is expected.
+TermLike = Union[Var, Const, SkolemTerm, Atom, str, int, float, bool]
+
+
+def var(name: str) -> Var:
+    """A query variable."""
+    return Var(name)
+
+
+def const(value) -> Const:
+    """A constant term (atoms and plain Python scalars accepted)."""
+    if isinstance(value, Const):
+        return value
+    return Const(Atom.of(value))
+
+
+def _term(value: TermLike) -> Term:
+    if isinstance(value, (Var, Const, SkolemTerm)):
+        return value
+    return const(value)
+
+
+def skolem(fn: str, *args: TermLike) -> SkolemTerm:
+    """A Skolem term ``fn(args...)``."""
+    return SkolemTerm(fn, tuple(_term(a) for a in args))
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+def member(name: str, *args: TermLike) -> MembershipCond:
+    """Collection membership or predicate application ``name(args)``."""
+    return MembershipCond(name, tuple(_term(a) for a in args))
+
+
+def edge(source: TermLike, label: Union[Var, str],
+         target: TermLike) -> PathCond:
+    """A single edge: arc variable when ``label`` is a :class:`Var`,
+    constant label when it is a string."""
+    src = _term(source)
+    dst = _term(target)
+    assert isinstance(src, (Var, Const)) and isinstance(dst, (Var, Const))
+    if isinstance(label, Var):
+        return PathCond(src, dst, arc_var=label.name)
+    return PathCond(src, dst, path=RLabel(LabelEquals(label)))
+
+
+def path(source: TermLike, expr: RegularPath,
+         target: TermLike) -> PathCond:
+    """A regular-path condition ``source -> expr -> target``."""
+    src = _term(source)
+    dst = _term(target)
+    assert isinstance(src, (Var, Const)) and isinstance(dst, (Var, Const))
+    return PathCond(src, dst, path=expr)
+
+
+def _comparison(op: str):
+    def build(left: TermLike, right: TermLike) -> ComparisonCond:
+        lhs, rhs = _term(left), _term(right)
+        assert isinstance(lhs, (Var, Const))
+        assert isinstance(rhs, (Var, Const))
+        return ComparisonCond(lhs, op, rhs)
+    build.__name__ = f"cmp_{op}"
+    return build
+
+
+eq = _comparison("=")
+ne = _comparison("!=")
+lt = _comparison("<")
+le = _comparison("<=")
+gt = _comparison(">")
+ge = _comparison(">=")
+
+
+def isin(variable: Var, *values) -> InCond:
+    """``variable in {values...}``."""
+    return InCond(variable, tuple(const(v) for v in values))
+
+
+def notc(inner: Condition) -> NotCond:
+    """``not(inner)``."""
+    return NotCond(inner)
+
+
+# -- regular path expression combinators ----------------------------------------
+
+
+def label(name: str) -> RegularPath:
+    """A single edge with a constant label."""
+    return RLabel(LabelEquals(name))
+
+
+def anylabel() -> RegularPath:
+    """``true``: one edge with any label."""
+    return RLabel(AnyLabel())
+
+
+def labelpred(name: str) -> RegularPath:
+    """One edge whose label satisfies predicate ``name``."""
+    return RLabel(LabelPredicate(name))
+
+
+def concat(*parts: RegularPath) -> RegularPath:
+    """Path concatenation ``R.R``."""
+    if len(parts) == 1:
+        return parts[0]
+    return RConcat(tuple(parts))
+
+
+def alt(*options: RegularPath) -> RegularPath:
+    """Alternation ``R|R``."""
+    if len(options) == 1:
+        return options[0]
+    return RAlt(tuple(options))
+
+
+def star(inner: RegularPath) -> RegularPath:
+    """Kleene closure ``R*``."""
+    return RStar(inner)
+
+
+def anypath() -> RegularPath:
+    """The ``*`` abbreviation: any path of any length."""
+    return ANY_PATH
+
+
+# -- the builder -----------------------------------------------------------------
+
+
+class _Scope:
+    """Context manager entering/leaving one nested where-block."""
+
+    def __init__(self, builder: "QueryBuilder", block: Block) -> None:
+        self._builder = builder
+        self._block = block
+
+    def __enter__(self) -> "QueryBuilder":
+        self._builder._stack.append(self._block)
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = self._builder._stack.pop()
+        assert popped is self._block
+
+
+class QueryBuilder:
+    """Structured construction of StruQL queries."""
+
+    def __init__(self, input_name: str, output: str = "Site",
+                 params: tuple[str, ...] = ()) -> None:
+        self.input_name = input_name
+        self.output_name = output
+        self.params = tuple(params)
+        self._root = Block()
+        self._stack: list[Block] = [self._root]
+        self._label_counter = 0
+
+    # -- clause methods -------------------------------------------------------
+
+    def _current(self) -> Block:
+        return self._stack[-1]
+
+    def where(self, *conditions: Condition) -> _Scope:
+        """Open a nested block with ``conditions`` (use with ``with``).
+
+        The new block's conditions conjoin with every enclosing block's,
+        exactly like the textual ``{ WHERE ... }``.
+        """
+        self._label_counter += 1
+        block = Block(conditions=list(conditions),
+                      label=f"Q{self._label_counter}")
+        self._current().children.append(block)
+        return _Scope(self, block)
+
+    def create(self, *terms: SkolemTerm) -> "QueryBuilder":
+        """Add ``create`` clauses to the current block."""
+        self._current().creates.extend(terms)
+        return self
+
+    def link(self, source: SkolemTerm, label_term: Union[Var, str],
+             target: TermLike) -> "QueryBuilder":
+        """Add one ``link`` clause to the current block."""
+        if isinstance(label_term, Var):
+            lab: Union[Var, Const] = label_term
+        else:
+            lab = Const(Atom.string(label_term))
+        self._current().links.append(
+            LinkSpec(source, lab, _term(target)))
+        return self
+
+    def collect(self, name: str, term: TermLike) -> "QueryBuilder":
+        """Add one ``collect`` clause to the current block."""
+        self._current().collects.append(CollectSpec(name, _term(term)))
+        return self
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self) -> Query:
+        """The finished, semantically checked query."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced where() scopes")
+        query = Query(self.input_name, self.output_name, self._root,
+                      text=self.to_text(), params=self.params)
+        _check_semantics(query, assumed_bound=frozenset(self.params))
+        return query
+
+    def to_text(self) -> str:
+        """Equivalent StruQL surface text (parseable)."""
+        lines = [f"input {self.input_name}"]
+
+        def emit(block: Block, indent: int) -> None:
+            pad = "  " * indent
+            if block.conditions:
+                conds = ", ".join(str(c) for c in block.conditions)
+                lines.append(f"{pad}where {conds}")
+            if block.creates:
+                lines.append(pad + "create "
+                             + ", ".join(str(c) for c in block.creates))
+            for link_spec in block.links:
+                lines.append(f"{pad}link {link_spec}")
+            for collect_spec in block.collects:
+                lines.append(f"{pad}collect {collect_spec}")
+            for child in block.children:
+                lines.append(pad + "{")
+                emit(child, indent + 1)
+                lines.append(pad + "}")
+
+        emit(self._root, 0)
+        lines.append(f"output {self.output_name}")
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""StruQL's construction stage: ``create``, ``link``, ``collect``.
+
+Paper section 3 (Semantics):
+
+    For each row in the relation, first construct all new node oids, as
+    specified in the ``create`` clause. [...] Next, construct the new
+    edges, as described in the ``link`` clause. [...] edges can only be
+    added from new nodes to new or existing nodes; existing nodes are
+    immutable [...].  Finally, the semantic of the ``collect`` clause is
+    obvious.
+
+:class:`GraphBuilder` applies one block's construction clauses to each
+binding row, materializing the output graph.  It enforces the
+immutability rule dynamically as well (the parser already enforces it
+statically): nodes imported from the input graph are fenced with
+:meth:`~repro.graph.Graph.freeze_existing` semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StruQLSemanticError
+from repro.graph.model import Graph, GraphObject, Oid
+from repro.graph.values import Atom
+from repro.struql.ast import (
+    Block,
+    CollectSpec,
+    Const,
+    LinkSpec,
+    SkolemTerm,
+    Term,
+    Var,
+)
+from repro.struql.bindings import Binding, RuntimeValue, as_label
+from repro.struql.skolem import SkolemRegistry
+
+
+class GraphBuilder:
+    """Builds the output graph of a query, row by row."""
+
+    def __init__(self, output: Graph, input_graph: Graph,
+                 skolem: SkolemRegistry) -> None:
+        self.output = output
+        self.input_graph = input_graph
+        self.skolem = skolem
+        #: Input-graph nodes are immutable; Skolem nodes minted here are
+        #: not.  Tracked per builder, since a pre-existing output graph
+        #: (multi-query composition) keeps its own created nodes mutable.
+        self._input_nodes: set[Oid] = set(input_graph.nodes())
+
+    # -- term resolution ---------------------------------------------------
+
+    def resolve(self, term: Term, row: Binding) -> RuntimeValue:
+        """The runtime value of a construction term under a binding."""
+        if isinstance(term, Const):
+            return term.value
+        if isinstance(term, Var):
+            try:
+                return row[term.name]
+            except KeyError:
+                raise StruQLSemanticError(
+                    f"variable {term.name!r} unbound at construction "
+                    f"time") from None
+        if isinstance(term, SkolemTerm):
+            args = [self.resolve(arg, row) for arg in term.args]
+            return self.skolem.apply(term.fn, args)
+        raise TypeError(f"not a term: {term!r}")
+
+    def _as_node(self, value: RuntimeValue, context: str) -> GraphObject:
+        if isinstance(value, str):
+            return Atom.string(value)
+        return value
+
+    # -- clause application ------------------------------------------------------
+
+    def apply_creates(self, creates: list[SkolemTerm], row: Binding) -> None:
+        """Mint and add all ``create`` nodes for one binding row."""
+        for term in creates:
+            oid = self.resolve(term, row)
+            assert isinstance(oid, Oid)
+            self.output.add_node(oid)
+
+    def apply_links(self, links: list[LinkSpec], row: Binding) -> None:
+        """Add all ``link`` edges for one binding row."""
+        for link in links:
+            source = self.resolve(link.source, row)
+            assert isinstance(source, Oid)
+            if source in self._input_nodes:
+                raise StruQLSemanticError(
+                    f"link {link} would add an edge out of immutable "
+                    f"input node {source}")
+            label_value = self.resolve(link.label, row)
+            label = as_label(label_value)
+            if label is None:
+                raise StruQLSemanticError(
+                    f"link {link}: label value {label_value!r} is not "
+                    f"usable as an edge label")
+            target = self._as_node(self.resolve(link.target, row),
+                                   f"link {link}")
+            self.output.add_edge(source, label, target)
+
+    def apply_collects(self, collects: list[CollectSpec],
+                       row: Binding) -> None:
+        """Add all ``collect`` memberships for one binding row."""
+        for collect in collects:
+            value = self._as_node(self.resolve(collect.term, row),
+                                  f"collect {collect}")
+            self.output.declare_collection(collect.name)
+            self.output.add_to_collection(collect.name, value)
+
+    def apply_block_row(self, block: Block, row: Binding) -> None:
+        """Apply one block's construction clauses to one binding row."""
+        self.apply_creates(block.creates, row)
+        self.apply_links(block.links, row)
+        self.apply_collects(block.collects, row)

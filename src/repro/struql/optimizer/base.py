@@ -1,0 +1,105 @@
+"""Optimizer interface and executability rules shared by all generations.
+
+An optimizer's job here is to choose the *order* in which a block's
+conditions run (access-path choice inside each operator is adaptive; see
+:mod:`repro.struql.plan`).  Orders must be *executable*: an operator
+whose semantics cannot generate bindings (external predicates, ordered
+comparisons, negations that would otherwise enumerate huge domains) must
+not run before its variables are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.model import Graph
+from repro.struql.ast import (
+    AggregateCond,
+    ComparisonCond,
+    Condition,
+    Const,
+    InCond,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    Var,
+    condition_variables,
+)
+from repro.struql.predicates import PredicateRegistry
+
+
+def executable(condition: Condition, bound: set[str], graph: Graph,
+               predicates: PredicateRegistry) -> bool:
+    """Whether ``condition`` may run when ``bound`` variables are bound."""
+    if isinstance(condition, MembershipCond):
+        if graph.has_collection(condition.name):
+            return True
+        # External predicates only filter: every variable argument must
+        # already be bound.
+        return all(not isinstance(arg, Var) or arg.name in bound
+                   for arg in condition.args)
+    if isinstance(condition, ComparisonCond):
+        left_ok = isinstance(condition.left, Const) or \
+            condition.left.name in bound
+        right_ok = isinstance(condition.right, Const) or \
+            condition.right.name in bound
+        if condition.op == "=":
+            return left_ok or right_ok
+        return left_ok and right_ok
+    if isinstance(condition, (PathCond, InCond)):
+        return True
+    if isinstance(condition, NotCond):
+        # Always executable via active-domain enumeration, but orderings
+        # should bind the inner variables first; the schedulers below
+        # treat fully-bound negation as vastly cheaper.
+        return True
+    if isinstance(condition, AggregateCond):
+        # Blocking: its input variables must be bound first.
+        needed = {condition.var.name} | {g.name for g in condition.group}
+        return needed <= bound
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+class Optimizer:
+    """Base class: order a conjunction of conditions."""
+
+    #: Registry name used by :func:`get_optimizer`.
+    name = "base"
+
+    def order(self, conditions: Sequence[Condition], bound: set[str],
+              graph: Graph, predicates: PredicateRegistry,
+              stats=None) -> list[Condition]:
+        """Return the conditions in execution order.
+
+        ``bound`` names the variables already bound by ancestor blocks;
+        ``stats`` is a :class:`~repro.repository.GraphStatistics` or
+        ``None``.
+        """
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {}
+
+
+def register_optimizer(cls: type[Optimizer]) -> type[Optimizer]:
+    """Class decorator adding an optimizer to the name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_optimizer(name: str) -> Optimizer:
+    """Instantiate an optimizer by registry name.
+
+    Known names: ``naive``, ``heuristic``, ``cost``.
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown optimizer {name!r} (known: {known})") \
+            from None
+
+
+def newly_bound(condition: Condition, bound: set[str]) -> set[str]:
+    """Variables ``condition`` would add to the bound set."""
+    return condition_variables(condition) - bound

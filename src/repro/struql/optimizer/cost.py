@@ -1,0 +1,249 @@
+"""The cost-based optimizer in the style of [FLO 97].
+
+For each block the optimizer enumerates condition orders with
+System-R-style dynamic programming over subsets (exact for conjunctions
+of up to :data:`DP_LIMIT` conditions, greedy beyond), estimating
+intermediate-result cardinalities from repository statistics
+(:class:`~repro.repository.GraphStatistics`):
+
+* a collection scan multiplies cardinality by the collection size;
+* a forward edge step multiplies by the label's fan-out (average
+  out-degree for arc variables bound later);
+* a backward step multiplies by fan-in — this is how plans "exploit
+  indexes on the data and the schema": a bound target with a backward
+  index is often far cheaper than scanning a collection forward;
+* equality against a constant applies the ``1/V(A)`` selectivity;
+* regular path expressions estimate by structural recursion (fan-out
+  products for concatenation, sums for alternation, reachable-set bound
+  for closure).
+
+The cost of a plan is the sum of its intermediate cardinalities (the
+canonical CH-cost), which rewards orders that keep intermediates small.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.model import Graph
+from repro.repository.stats import GraphStatistics
+from repro.struql.ast import (
+    AggregateCond,
+    AnyLabel,
+    ComparisonCond,
+    Condition,
+    Const,
+    InCond,
+    LabelEquals,
+    LabelPredicate,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    RAlt,
+    RConcat,
+    RegularPath,
+    RLabel,
+    RStar,
+    Var,
+    condition_variables,
+)
+from repro.struql.optimizer.base import (
+    Optimizer,
+    executable,
+    register_optimizer,
+)
+from repro.struql.predicates import PredicateRegistry
+
+#: Beyond this many conditions, fall back from DP to greedy.
+DP_LIMIT = 10
+
+_FILTER_SELECTIVITY = {"=": 0.1, "!=": 0.9, "<": 0.3, "<=": 0.35,
+                       ">": 0.3, ">=": 0.35}
+
+
+def _anchored(term: Var | Const, bound: set[str]) -> bool:
+    return isinstance(term, Const) or term.name in bound
+
+
+def estimate_path_fanout(path: RegularPath, stats: GraphStatistics) -> float:
+    """Expected number of endpoints reached per start node."""
+    cap = max(stats.node_count + stats.atom_count, 1)
+    if isinstance(path, RLabel):
+        if isinstance(path.pred, LabelEquals):
+            return max(stats.label_fan_out(path.pred.label), 0.001)
+        if isinstance(path.pred, AnyLabel):
+            return max(stats.any_label_fan_out(), 0.001)
+        if isinstance(path.pred, LabelPredicate):
+            return max(stats.any_label_fan_out() * 0.5, 0.001)
+    if isinstance(path, RConcat):
+        product = 1.0
+        for part in path.parts:
+            product *= estimate_path_fanout(part, stats)
+        return min(product, cap)
+    if isinstance(path, RAlt):
+        return min(sum(estimate_path_fanout(o, stats)
+                       for o in path.options), cap)
+    if isinstance(path, RStar):
+        # Closure can reach a large fraction of the graph; assume half.
+        return max(cap / 2.0, 1.0)
+    raise TypeError(f"not a path: {path!r}")
+
+
+def estimate_condition(condition: Condition, bound: set[str],
+                       stats: GraphStatistics
+                       ) -> tuple[float, float]:
+    """``(multiplier, cost_weight)`` of applying a condition.
+
+    ``multiplier`` scales the running cardinality estimate; the plan
+    cost accumulates ``rows * cost_weight`` per applied condition.
+    """
+    if isinstance(condition, MembershipCond):
+        size = stats.collection_size(condition.name)
+        if size == 0:
+            # Unknown name: external predicate filter (or empty
+            # collection, which makes any order fine).
+            return 0.5, 1.0
+        arg = condition.args[0] if condition.args else None
+        if arg is not None and isinstance(arg, Var) and arg.name in bound:
+            total = max(stats.node_count + stats.atom_count, 1)
+            return min(size / total, 1.0), 1.0
+        return float(size), 1.0
+
+    if isinstance(condition, PathCond):
+        source_anchored = _anchored(condition.source, bound)
+        target_anchored = _anchored(condition.target, bound)
+        if condition.arc_var is not None:
+            arc_bound = condition.arc_var in bound
+            fan_out = stats.any_label_fan_out()
+            if source_anchored and target_anchored:
+                return (0.5 if arc_bound else 0.8), 1.0
+            if source_anchored:
+                mult = max(fan_out * (0.5 if arc_bound else 1.0), 0.01)
+                return mult, 1.0
+            if target_anchored:
+                fan_in = max(stats.edge_count /
+                             max(stats.node_count + stats.atom_count, 1),
+                             0.01)
+                return fan_in, 1.0
+            return float(max(stats.edge_count, 1)), 2.0
+        assert condition.path is not None
+        fan = estimate_path_fanout(condition.path, stats)
+        if source_anchored and target_anchored:
+            return min(fan / max(stats.node_count, 1), 1.0), 2.0
+        if source_anchored or target_anchored:
+            return max(fan, 0.01), 2.0
+        return float(max(stats.node_count, 1)) * max(fan, 0.01), 4.0
+
+    if isinstance(condition, ComparisonCond):
+        frees = condition_variables(condition) - bound
+        if not frees:
+            return _FILTER_SELECTIVITY.get(condition.op, 0.5), 0.1
+        return 1.0, 0.1  # equality bind: one new row value per row
+
+    if isinstance(condition, InCond):
+        if condition.var.name in bound:
+            return min(0.1 * len(condition.values), 1.0), 0.1
+        return float(len(condition.values)), 0.1
+
+    if isinstance(condition, NotCond):
+        frees = condition_variables(condition.inner) - bound
+        if not frees:
+            return 0.9, 1.0
+        domain = float(max(stats.node_count + stats.atom_count, 1))
+        return domain ** len(frees) * 0.9, 5.0
+
+    if isinstance(condition, AggregateCond):
+        # Blocking pass over the rows; cardinality preserved.
+        return 1.0, 1.0
+
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+@register_optimizer
+class CostBasedOptimizer(Optimizer):
+    """DP plan enumeration with statistics; greedy beyond the DP limit."""
+
+    name = "cost"
+
+    def order(self, conditions: Sequence[Condition], bound: set[str],
+              graph: Graph, predicates: PredicateRegistry,
+              stats: GraphStatistics | None = None) -> list[Condition]:
+        if stats is None:
+            stats = GraphStatistics.gather(graph)
+        if len(conditions) <= 1:
+            return list(conditions)
+        if len(conditions) <= DP_LIMIT:
+            return self._dp_order(conditions, bound, graph, predicates,
+                                  stats)
+        return self._greedy_order(conditions, bound, graph, predicates,
+                                  stats)
+
+    # -- exact: DP over subsets ------------------------------------------------
+
+    def _dp_order(self, conditions: Sequence[Condition], bound: set[str],
+                  graph: Graph, predicates: PredicateRegistry,
+                  stats: GraphStatistics) -> list[Condition]:
+        n = len(conditions)
+        full = (1 << n) - 1
+        # best[mask] = (cost, rows, order, bound_set)
+        best: dict[int, tuple[float, float, tuple[int, ...], frozenset[str]]]
+        best = {0: (0.0, 1.0, (), frozenset(bound))}
+        for mask in range(full + 1):
+            if mask not in best:
+                continue
+            cost, rows, order, known = best[mask]
+            for i in range(n):
+                bit = 1 << i
+                if mask & bit:
+                    continue
+                condition = conditions[i]
+                if not executable(condition, set(known), graph, predicates):
+                    continue
+                multiplier, weight = estimate_condition(
+                    condition, set(known), stats)
+                new_rows = max(rows * multiplier, 0.0)
+                new_cost = cost + rows * weight + new_rows
+                new_mask = mask | bit
+                entry = best.get(new_mask)
+                if entry is None or new_cost < entry[0]:
+                    best[new_mask] = (
+                        new_cost, new_rows, order + (i,),
+                        known | condition_variables(condition))
+        final = best.get(full)
+        if final is None:
+            # No fully executable order exists (will error at runtime
+            # regardless of order); keep source order.
+            return list(conditions)
+        return [conditions[i] for i in final[2]]
+
+    # -- greedy fallback ----------------------------------------------------------
+
+    def _greedy_order(self, conditions: Sequence[Condition],
+                      bound: set[str], graph: Graph,
+                      predicates: PredicateRegistry,
+                      stats: GraphStatistics) -> list[Condition]:
+        pending = list(conditions)
+        ordered: list[Condition] = []
+        known = set(bound)
+        rows = 1.0
+        while pending:
+            best_index = None
+            best_key = None
+            for i, condition in enumerate(pending):
+                if not executable(condition, known, graph, predicates):
+                    continue
+                multiplier, weight = estimate_condition(
+                    condition, known, stats)
+                key = rows * weight + rows * multiplier
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = i
+            if best_index is None:
+                ordered.extend(pending)
+                break
+            condition = pending.pop(best_index)
+            multiplier, _ = estimate_condition(condition, known, stats)
+            rows = max(rows * multiplier, 0.0)
+            known |= condition_variables(condition)
+            ordered.append(condition)
+        return ordered

@@ -1,0 +1,95 @@
+"""Built-in and external predicate registry for StruQL.
+
+The paper's conditions of type (3) are "built-in or external predicates
+applied to nodes or edges", e.g. ``isPostScript(q)`` tests whether node
+``q`` is a PostScript file.  The distinction between collection names
+and predicates is semantic: the evaluator first checks the input graph's
+collections, then this registry.
+
+A predicate is any callable taking graph objects (:class:`Oid` or
+:class:`Atom`; label predicates receive the label as a string atom) and
+returning a boolean.  The default registry carries the paper's type
+tests plus a few generally useful ones; applications register their own
+via :meth:`PredicateRegistry.register`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import UnknownPredicateError
+from repro.graph import values as value_predicates
+from repro.graph.model import Oid
+from repro.graph.values import Atom
+
+Predicate = Callable[..., bool]
+
+
+class PredicateRegistry:
+    """A case-insensitive name -> predicate mapping."""
+
+    def __init__(self) -> None:
+        self._predicates: dict[str, Predicate] = {}
+
+    def register(self, name: str, fn: Predicate) -> None:
+        """Register ``fn`` under ``name`` (case-insensitive)."""
+        self._predicates[name.lower()] = fn
+
+    def lookup(self, name: str) -> Predicate:
+        """Fetch a predicate; raises :class:`UnknownPredicateError`."""
+        try:
+            return self._predicates[name.lower()]
+        except KeyError:
+            raise UnknownPredicateError(name) from None
+
+    def has(self, name: str) -> bool:
+        """Whether ``name`` is registered."""
+        return name.lower() in self._predicates
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        return sorted(self._predicates)
+
+    def copy(self) -> "PredicateRegistry":
+        """An independent copy (for per-query extension)."""
+        out = PredicateRegistry()
+        out._predicates.update(self._predicates)
+        return out
+
+
+def _is_node(value: Any) -> bool:
+    return isinstance(value, Oid)
+
+
+def _is_atom(value: Any) -> bool:
+    return isinstance(value, Atom)
+
+
+def _is_name(value: Any) -> bool:
+    """True for identifier-shaped strings; the paper's ``isName`` example."""
+    if isinstance(value, Atom):
+        text = str(value.value)
+    elif isinstance(value, str):
+        text = value
+    else:
+        return False
+    return bool(text) and (text[0].isalpha() or text[0] == "_") and all(
+        ch.isalnum() or ch in "_-" for ch in text)
+
+
+def default_registry() -> PredicateRegistry:
+    """The standard registry with the paper's type-test predicates."""
+    registry = PredicateRegistry()
+    registry.register("isPostScript", value_predicates.is_postscript)
+    registry.register("isImageFile", value_predicates.is_image_file)
+    registry.register("isHtmlFile", value_predicates.is_html_file)
+    registry.register("isTextFile", value_predicates.is_text_file)
+    registry.register("isFile", value_predicates.is_file)
+    registry.register("isUrl", value_predicates.is_url)
+    registry.register("isInt", value_predicates.is_int)
+    registry.register("isFloat", value_predicates.is_float)
+    registry.register("isString", value_predicates.is_string)
+    registry.register("isNode", _is_node)
+    registry.register("isAtom", _is_atom)
+    registry.register("isName", _is_name)
+    return registry

@@ -1,0 +1,44 @@
+"""HTML-template language and generator (paper sections 2.5 and 4)."""
+
+from repro.templates.ast import (
+    AttrExpr,
+    CmpCond,
+    Constant,
+    ExistsCond,
+    ForExpr,
+    FormatExpr,
+    IfExpr,
+    ListExpr,
+    Null,
+    Template,
+    Text,
+)
+from repro.templates.formats import anchor, escape, realize_atom
+from repro.templates.generator import (
+    TEMPLATE_ATTRIBUTE,
+    HtmlGenerator,
+    TemplateSet,
+)
+from repro.templates.parser import TemplateParser, parse_template
+
+__all__ = [
+    "AttrExpr",
+    "CmpCond",
+    "Constant",
+    "ExistsCond",
+    "ForExpr",
+    "FormatExpr",
+    "HtmlGenerator",
+    "IfExpr",
+    "ListExpr",
+    "Null",
+    "TEMPLATE_ATTRIBUTE",
+    "Template",
+    "TemplateParser",
+    "TemplateSet",
+    "Text",
+    "anchor",
+    "escape",
+    "parse_template",
+    "realize_atom",
+]

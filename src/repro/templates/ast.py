@@ -1,0 +1,208 @@
+"""Abstract syntax of STRUDEL's HTML-template language (paper Fig 6).
+
+A template is plain HTML text interleaved with three extension forms:
+
+* the **format expression** ``<SFMT ...>`` maps an attribute expression
+  to an HTML value;
+* the **conditional** ``<SIF ...> ... <SELSE> ... </SIF>``;
+* the **enumeration** ``<SFOR v ...> ... </SFOR>`` plus the common-idiom
+  abbreviation ``<SFMTLIST ...>``.
+
+Attribute expressions are ``@ID(.ID)*`` — a bounded traversal from the
+current object (or a loop variable) through attribute edges, the paper's
+"limited traversal of the site graph".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.graph.values import Atom
+
+
+@dataclass(frozen=True)
+class AttrExpr:
+    """``@seg1.seg2...``: traversal through attributes.
+
+    The first segment resolves against the loop-variable environment
+    first, then as an attribute of the current object.
+    """
+
+    segments: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "@" + ".".join(self.segments)
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal constant in a condition (BOOL, INT, FLOAT, STRING)."""
+
+    value: Atom
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Null:
+    """The ``NULL`` constant: 'attribute absent'."""
+
+    def __str__(self) -> str:
+        return "NULL"
+
+
+Expr = Union[AttrExpr, Constant, Null]
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CmpCond:
+    """``expr op expr`` with dynamic coercion; ``= NULL`` tests absence."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class ExistsCond:
+    """A bare attribute expression as condition: non-null test."""
+
+    expr: AttrExpr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class AndCond:
+    left: "Cond"
+    right: "Cond"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class OrCond:
+    left: "Cond"
+    right: "Cond"
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class NotCondT:
+    inner: "Cond"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.inner})"
+
+
+Cond = Union[CmpCond, ExistsCond, AndCond, OrCond, NotCondT]
+
+
+# -- template nodes --------------------------------------------------------------
+
+
+@dataclass
+class Text:
+    """A run of plain HTML passed through verbatim."""
+
+    text: str
+
+
+@dataclass
+class FormatExpr:
+    """``<SFMT @expr [FORMAT=EMBED|LINK] [TAG=...]>``.
+
+    ``format`` overrides the type-specific realization rules (EMBED
+    forces inlining an internal object; LINK forces an anchor).  ``tag``
+    supplies the anchor text for link realizations.
+    """
+
+    expr: AttrExpr
+    format: str | None = None          # "EMBED" | "LINK" | None
+    tag: Union[str, AttrExpr, None] = None
+
+
+@dataclass
+class IfExpr:
+    """``<SIF cond> then <SELSE> else </SIF>``."""
+
+    cond: Cond
+    then: list["TemplateNode"] = field(default_factory=list)
+    orelse: list["TemplateNode"] = field(default_factory=list)
+
+
+@dataclass
+class ForExpr:
+    """``<SFOR v @expr [ORDER=...] [KEY=...] [DELIM=...]> body </SFOR>``.
+
+    Iterates over all values of the attribute expression, binding ``v``.
+    ``ORDER`` sorts values ``ascend``/``descend``; ``KEY`` names the
+    attribute of internal-object values used as the sort key; ``DELIM``
+    is emitted between iterations.
+    """
+
+    var: str
+    expr: AttrExpr
+    body: list["TemplateNode"] = field(default_factory=list)
+    order: str | None = None           # "ascend" | "descend" | None
+    key: str | None = None
+    delim: str | None = None
+
+
+@dataclass
+class ListExpr:
+    """``<SFMTLIST @expr ...>`` — the paper's abbreviation for the
+    common enumerate-and-format idiom, optionally wrapped in a list.
+
+    Equivalent to ``<SFOR v @expr ...><LI><SFMT @v ...></SFOR>`` inside
+    ``<UL>``/``<OL>`` when ``wrap`` is set, or a bare delimited
+    enumeration when not.
+    """
+
+    expr: AttrExpr
+    format: str | None = None
+    tag: Union[str, AttrExpr, None] = None
+    order: str | None = None
+    key: str | None = None
+    delim: str | None = None
+    wrap: str | None = None            # "UL" | "OL" | None
+
+
+TemplateNode = Union[Text, FormatExpr, IfExpr, ForExpr, ListExpr]
+
+
+@dataclass
+class Template:
+    """A compiled template: name + node sequence."""
+
+    name: str
+    nodes: list[TemplateNode]
+    source: str = ""
+
+    def walk(self) -> list[TemplateNode]:
+        """All nodes, preorder (for analysis and tests)."""
+        out: list[TemplateNode] = []
+
+        def visit(nodes: list[TemplateNode]) -> None:
+            for node in nodes:
+                out.append(node)
+                if isinstance(node, IfExpr):
+                    visit(node.then)
+                    visit(node.orelse)
+                elif isinstance(node, ForExpr):
+                    visit(node.body)
+
+        visit(self.nodes)
+        return out

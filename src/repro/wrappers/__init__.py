@@ -1,0 +1,19 @@
+"""Source wrappers (paper section 2.2): external data to data graphs."""
+
+from repro.wrappers.base import Wrapper
+from repro.wrappers.bibtex import BibTexWrapper
+from repro.wrappers.html_wrapper import HtmlWrapper
+from repro.wrappers.json_wrapper import JsonWrapper
+from repro.wrappers.relational import RelationalWrapper
+from repro.wrappers.structured_file import StructuredFileWrapper
+from repro.wrappers.xml_wrapper import XmlWrapper
+
+__all__ = [
+    "BibTexWrapper",
+    "HtmlWrapper",
+    "JsonWrapper",
+    "RelationalWrapper",
+    "StructuredFileWrapper",
+    "Wrapper",
+    "XmlWrapper",
+]

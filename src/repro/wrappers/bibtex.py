@@ -1,0 +1,270 @@
+"""BibTeX wrapper: the paper's running example data source.
+
+    A simple wrapper maps BibTeX files into data graphs. (section 5.1)
+
+The wrapper parses standard BibTeX:
+
+* entries ``@type{key, field = value, ...}`` with brace- or
+  quote-delimited values, nested braces, and bare numbers;
+* ``@string{name = "..."}`` macro definitions and ``#`` concatenation;
+* ``@comment`` and ``@preamble`` blocks (ignored);
+* multiple authors/editors split on ``and``;
+* a ``keywords``/``category`` field split on commas into ``category``
+  edges (the Fig 2 data's categories).
+
+Mapping into the graph (mirroring Fig 2):
+
+* each entry becomes a node named by its citation key, member of the
+  ``Publications`` collection;
+* each field becomes an edge with the lower-cased field name;
+* ``year``/``volume``-like numeric fields become int atoms;
+* ``abstract`` and ``postscript``/``ps``/``url`` fields whose values
+  look like paths become typed file atoms;
+* the entry type is recorded as ``pub-type`` (Fig 2's attribute).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import WrapperError
+from repro.graph.model import Graph, Oid
+from repro.graph.values import Atom, infer_file_type
+from repro.wrappers.base import Wrapper
+
+#: Fields whose values split into multiple edges on " and ".
+_PERSON_FIELDS = ("author", "editor")
+
+#: Fields split on commas into one edge per item.
+_LIST_FIELDS = ("keywords", "category", "categories")
+
+#: Fields treated as file paths when they look like one.
+_FILE_FIELDS = ("abstract", "postscript", "ps", "pdf", "fulltext")
+
+_INT_RE = re.compile(r"^-?\d+$")
+_PATHY_RE = re.compile(r"^[\w./-]+\.\w{1,6}(\.gz|\.z)?$", re.IGNORECASE)
+
+
+class BibTexWrapper(Wrapper):
+    """Parses BibTeX text into a Publications data graph.
+
+    ``ordered_authors=True`` applies the paper's section 5.2 solution to
+    the order problem ("associating an integer key with each author"):
+    instead of plain string atoms, ``author`` edges point to small
+    author objects carrying ``name`` and an integer ``key``, so the
+    template language's ``ORDER=ascend KEY=key`` reproduces the
+    manuscript order even after set-semantics storage.
+    """
+
+    graph_name = "bibtex"
+
+    def __init__(self, collection: str = "Publications",
+                 ordered_authors: bool = False) -> None:
+        self.collection = collection
+        self.ordered_authors = ordered_authors
+
+    def wrap(self, source: str, graph_name: str | None = None) -> Graph:
+        graph = Graph(graph_name or self.graph_name)
+        graph.declare_collection(self.collection)
+        strings: dict[str, str] = {}
+        for kind, body in _entries(source):
+            lowered = kind.lower()
+            if lowered == "string":
+                name, value = _parse_string_def(body, strings)
+                strings[name.lower()] = value
+            elif lowered in ("comment", "preamble"):
+                continue
+            else:
+                self._add_entry(graph, lowered, body, strings)
+        return graph
+
+    def _add_entry(self, graph: Graph, kind: str, body: str,
+                   strings: dict[str, str]) -> None:
+        key, fields = _parse_entry_body(body, strings)
+        oid = Oid(key)
+        graph.add_node(oid)
+        graph.add_to_collection(self.collection, oid)
+        graph.add_edge(oid, "pub-type", Atom.string(kind))
+        for name, raw in fields:
+            self._add_field(graph, oid, name.lower(), raw)
+
+    def _add_field(self, graph: Graph, oid: Oid, name: str,
+                   value: str) -> None:
+        value = _collapse_whitespace(value)
+        if not value:
+            return
+        if name in _PERSON_FIELDS:
+            people = [p.strip() for p in re.split(r"\s+and\s+", value)
+                      if p.strip()]
+            if self.ordered_authors:
+                for rank, person in enumerate(people, start=1):
+                    person_oid = Oid(f"{oid.name}.{name}{rank}")
+                    graph.add_node(person_oid)
+                    graph.add_edge(person_oid, "name",
+                                   Atom.string(person))
+                    graph.add_edge(person_oid, "key", Atom.int(rank))
+                    graph.add_edge(oid, name, person_oid)
+            else:
+                for person in people:
+                    graph.add_edge(oid, name, Atom.string(person))
+            return
+        if name in _LIST_FIELDS:
+            for item in value.split(","):
+                item = item.strip()
+                if item:
+                    graph.add_edge(oid, "category", Atom.string(item))
+            return
+        if name in _FILE_FIELDS and _PATHY_RE.match(value):
+            graph.add_edge(oid, name,
+                           Atom(infer_file_type(value), value))
+            return
+        if name == "url":
+            graph.add_edge(oid, name, Atom.url(value))
+            return
+        if _INT_RE.match(value):
+            graph.add_edge(oid, name, Atom.int(int(value)))
+            return
+        graph.add_edge(oid, name, Atom.string(value))
+
+
+def _collapse_whitespace(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _entries(source: str):
+    """Yield ``(entry_kind, body_text)`` for each @-entry."""
+    i = 0
+    n = len(source)
+    while i < n:
+        at = source.find("@", i)
+        if at < 0:
+            return
+        j = at + 1
+        while j < n and (source[j].isalnum() or source[j] == "_"):
+            j += 1
+        kind = source[at + 1:j]
+        while j < n and source[j].isspace():
+            j += 1
+        if j >= n or source[j] not in "{(":
+            i = at + 1
+            continue
+        opener = source[j]
+        closer = "}" if opener == "{" else ")"
+        depth = 0
+        k = j
+        while k < n:
+            ch = source[k]
+            if ch == opener or (opener == "{" and ch == "{"):
+                depth += 1
+            elif ch == closer or (opener == "{" and ch == "}"):
+                depth -= 1
+                if depth == 0:
+                    break
+            elif ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            k += 1
+        if k >= n:
+            raise WrapperError(f"unterminated @{kind} entry")
+        yield kind, source[j + 1:k]
+        i = k + 1
+
+
+def _parse_string_def(body: str, strings: dict[str, str]) -> tuple[str, str]:
+    eq = body.find("=")
+    if eq < 0:
+        raise WrapperError(f"malformed @string: {body[:40]!r}")
+    name = body[:eq].strip()
+    value, _ = _parse_value(body, eq + 1, strings)
+    return name, value
+
+
+def _parse_entry_body(body: str, strings: dict[str, str]
+                      ) -> tuple[str, list[tuple[str, str]]]:
+    comma = body.find(",")
+    if comma < 0:
+        key = body.strip()
+        if not key:
+            raise WrapperError("entry without citation key")
+        return key, []
+    key = body[:comma].strip()
+    if not key:
+        raise WrapperError("entry without citation key")
+    fields: list[tuple[str, str]] = []
+    i = comma + 1
+    n = len(body)
+    while i < n:
+        while i < n and (body[i].isspace() or body[i] == ","):
+            i += 1
+        if i >= n:
+            break
+        j = i
+        while j < n and body[j] not in "=,":
+            j += 1
+        if j >= n or body[j] != "=":
+            break
+        name = body[i:j].strip()
+        value, i = _parse_value(body, j + 1, strings)
+        if name:
+            fields.append((name, value))
+    return key, fields
+
+
+def _parse_value(body: str, i: int, strings: dict[str, str]
+                 ) -> tuple[str, int]:
+    """Parse a field value (handles braces, quotes, numbers, macros, #)."""
+    n = len(body)
+    parts: list[str] = []
+    while True:
+        while i < n and body[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        ch = body[i]
+        if ch == "{":
+            depth = 0
+            j = i
+            while j < n:
+                if body[j] == "{":
+                    depth += 1
+                elif body[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if j >= n:
+                raise WrapperError("unterminated braced value")
+            parts.append(body[i + 1:j].replace("{", "").replace("}", ""))
+            i = j + 1
+        elif ch == '"':
+            j = i + 1
+            while j < n and body[j] != '"':
+                j += 1
+            if j >= n:
+                raise WrapperError("unterminated quoted value")
+            parts.append(body[i + 1:j])
+            i = j + 1
+        elif ch.isdigit():
+            j = i
+            while j < n and body[j].isdigit():
+                j += 1
+            parts.append(body[i:j])
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (body[j].isalnum() or body[j] in "_-"):
+                j += 1
+            macro = body[i:j]
+            parts.append(strings.get(macro.lower(), macro))
+            i = j
+        else:
+            break
+        # concatenation?
+        while i < n and body[i].isspace():
+            i += 1
+        if i < n and body[i] == "#":
+            i += 1
+            continue
+        break
+    return "".join(parts), i

@@ -1,0 +1,153 @@
+"""Relational wrapper: tables (CSV or dict rows) to data graphs.
+
+The AT&T site's "data sources [...] are small relational databases that
+contain personnel and organizational data" and "the wrappers are simple
+AWK programs that map structured files and relational databases into
+objects in a data graph" (section 5.1).  This wrapper plays that role:
+
+* each row becomes a node, named ``<table>_<primary key>`` (or a
+  positional name when no key column is configured), member of a
+  collection named after the table;
+* each non-empty cell becomes an edge labeled with the column name;
+* numeric-looking cells become int/float atoms, path-looking cells file
+  atoms, the rest strings — *empty cells produce no edge*, which is how
+  relational NULLs become the semistructured model's missing attributes;
+* configured foreign keys become *reference edges* to the target
+  table's row nodes, so joins in the source become direct graph links.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+
+from repro.errors import WrapperError
+from repro.graph.model import Graph, Oid
+from repro.graph.values import Atom, infer_file_type
+from repro.wrappers.base import Wrapper
+
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+$")
+_PATHY_RE = re.compile(r"^[\w./-]+\.\w{1,6}(\.gz|\.z)?$", re.IGNORECASE)
+
+
+def _cell_atom(text: str) -> Atom:
+    if _INT_RE.match(text):
+        return Atom.int(int(text))
+    if _FLOAT_RE.match(text):
+        return Atom.float(float(text))
+    if text.startswith(("http://", "https://", "ftp://")):
+        return Atom.url(text)
+    if _PATHY_RE.match(text) and "/" in text:
+        return Atom(infer_file_type(text), text)
+    return Atom.string(text)
+
+
+class RelationalWrapper(Wrapper):
+    """Maps one or more tables into a data graph.
+
+    ``key_columns`` maps table name to its primary-key column;
+    ``foreign_keys`` maps ``(table, column)`` to the referenced table —
+    such cells become edges to the referenced row's node instead of
+    atoms.  ``multi_value_separator`` (default ``;``) splits a cell into
+    several edges, the relational encoding of multi-valued attributes.
+    """
+
+    graph_name = "relational"
+
+    def __init__(self, key_columns: dict[str, str] | None = None,
+                 foreign_keys: dict[tuple[str, str], str] | None = None,
+                 multi_value_separator: str = ";") -> None:
+        self.key_columns = key_columns or {}
+        self.foreign_keys = foreign_keys or {}
+        self.multi_value_separator = multi_value_separator
+
+    # -- public API ----------------------------------------------------------
+
+    def wrap(self, source: str, graph_name: str | None = None) -> Graph:
+        """Wrap one CSV table whose first line is ``#table <name>`` or a
+        plain header (table then defaults to ``"table"``)."""
+        name = "table"
+        text = source
+        if source.startswith("#table"):
+            first, _, rest = source.partition("\n")
+            name = first[len("#table"):].strip() or name
+            text = rest
+        return self.wrap_tables({name: text}, graph_name)
+
+    def wrap_tables(self, tables: dict[str, str],
+                    graph_name: str | None = None) -> Graph:
+        """Wrap several named CSV tables into one graph."""
+        rows = {name: self._read_csv(name, text)
+                for name, text in tables.items()}
+        return self.wrap_rows(rows, graph_name)
+
+    def wrap_rows(self, tables: dict[str, list[dict[str, str]]],
+                  graph_name: str | None = None) -> Graph:
+        """Wrap already-parsed rows (list of dicts per table)."""
+        graph = Graph(graph_name or self.graph_name)
+        oids: dict[tuple[str, str], Oid] = {}
+        # First pass: create all row nodes so references can resolve.
+        for table, rows in tables.items():
+            graph.declare_collection(table)
+            key_column = self.key_columns.get(table)
+            for index, row in enumerate(rows):
+                oid = self._row_oid(table, key_column, row, index)
+                oids[(table, oid.name)] = oid
+                graph.add_node(oid)
+                graph.add_to_collection(table, oid)
+        # Second pass: attributes and reference edges.
+        for table, rows in tables.items():
+            key_column = self.key_columns.get(table)
+            for index, row in enumerate(rows):
+                oid = self._row_oid(table, key_column, row, index)
+                self._add_row(graph, oid, table, row, oids)
+        return graph
+
+    # -- internals ---------------------------------------------------------------
+
+    def _read_csv(self, table: str, text: str) -> list[dict[str, str]]:
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None:
+            raise WrapperError(f"table {table!r} has no header row")
+        return [dict(row) for row in reader]
+
+    def _row_oid(self, table: str, key_column: str | None,
+                 row: dict[str, str], index: int) -> Oid:
+        if key_column is not None:
+            key = (row.get(key_column) or "").strip()
+            if not key:
+                raise WrapperError(
+                    f"row {index} of {table!r} lacks key column "
+                    f"{key_column!r}")
+        else:
+            key = str(index)
+        return Oid(f"{table}_{key}")
+
+    def _add_row(self, graph: Graph, oid: Oid, table: str,
+                 row: dict[str, str],
+                 oids: dict[tuple[str, str], Oid]) -> None:
+        for column, raw in row.items():
+            if raw is None:
+                continue
+            text = raw.strip()
+            if not text:
+                continue  # relational NULL: no edge at all
+            target_table = self.foreign_keys.get((table, column))
+            values = ([v.strip() for v in
+                       text.split(self.multi_value_separator)]
+                      if self.multi_value_separator in text else [text])
+            for value in values:
+                if not value:
+                    continue
+                if target_table is not None:
+                    ref = oids.get((target_table,
+                                    f"{target_table}_{value}"))
+                    if ref is None:
+                        raise WrapperError(
+                            f"{table}.{column} references missing "
+                            f"{target_table} row {value!r}")
+                    graph.add_edge(oid, column, ref)
+                else:
+                    graph.add_edge(oid, column, _cell_atom(value))

@@ -1,0 +1,117 @@
+"""Structured-file wrapper: record files of ``key: value`` lines.
+
+The AT&T site drew project data from "structured files" (section 5.1);
+this wrapper reads the classic record format those AWK scripts consumed:
+
+.. code-block:: text
+
+    # projects.rec
+    id: strudel
+    name: STRUDEL
+    member: mff
+    member: levy
+    synopsis: Declarative web-site management.
+
+    id: daytona
+    name: Daytona
+
+Records separate on blank lines; repeated keys make multi-valued
+attributes; a record's ``id`` (configurable) names its node; records
+join the configured collection.  Values type like the relational
+wrapper's cells.  A ``ref:`` prefix on a value makes a reference edge to
+another record's node — resolved across the whole file, forward
+references allowed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import WrapperError
+from repro.graph.model import Graph, Oid
+from repro.graph.values import Atom, infer_file_type
+from repro.wrappers.base import Wrapper
+
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+$")
+_PATHY_RE = re.compile(r"^[\w./-]+\.\w{1,6}(\.gz|\.z)?$", re.IGNORECASE)
+
+
+def _value_atom(text: str) -> Atom:
+    if _INT_RE.match(text):
+        return Atom.int(int(text))
+    if _FLOAT_RE.match(text):
+        return Atom.float(float(text))
+    if text.startswith(("http://", "https://", "ftp://")):
+        return Atom.url(text)
+    if _PATHY_RE.match(text) and "/" in text:
+        return Atom(infer_file_type(text), text)
+    return Atom.string(text)
+
+
+class StructuredFileWrapper(Wrapper):
+    """Maps record files into a data graph."""
+
+    graph_name = "records"
+
+    def __init__(self, collection: str = "Records",
+                 id_key: str = "id") -> None:
+        self.collection = collection
+        self.id_key = id_key
+
+    def wrap(self, source: str, graph_name: str | None = None) -> Graph:
+        graph = Graph(graph_name or self.graph_name)
+        graph.declare_collection(self.collection)
+        records = self._split_records(source)
+        oids: dict[str, Oid] = {}
+        for index, record in enumerate(records):
+            rid = self._record_id(record, index)
+            oids[rid] = Oid(f"{self.collection}_{rid}")
+        pending: list[tuple[Oid, str, str, int]] = []
+        for index, record in enumerate(records):
+            rid = self._record_id(record, index)
+            oid = oids[rid]
+            graph.add_node(oid)
+            graph.add_to_collection(self.collection, oid)
+            for key, value in record:
+                if key == self.id_key:
+                    graph.add_edge(oid, key, Atom.string(value))
+                elif value.startswith("ref:"):
+                    pending.append((oid, key, value[len("ref:"):].strip(),
+                                    index))
+                else:
+                    graph.add_edge(oid, key, _value_atom(value))
+        for source_oid, key, ref, index in pending:
+            target = oids.get(ref)
+            if target is None:
+                raise WrapperError(
+                    f"record {index}: reference to unknown record {ref!r}")
+            graph.add_edge(source_oid, key, target)
+        return graph
+
+    def _split_records(self, source: str) -> list[list[tuple[str, str]]]:
+        records: list[list[tuple[str, str]]] = []
+        current: list[tuple[str, str]] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.rstrip()
+            if not line.strip():
+                if current:
+                    records.append(current)
+                    current = []
+                continue
+            if line.lstrip().startswith("#"):
+                continue
+            if ":" not in line:
+                raise WrapperError(
+                    f"line {lineno}: expected 'key: value', got {line!r}")
+            key, _, value = line.partition(":")
+            current.append((key.strip(), value.strip()))
+        if current:
+            records.append(current)
+        return records
+
+    def _record_id(self, record: list[tuple[str, str]], index: int) -> str:
+        for key, value in record:
+            if key == self.id_key:
+                return value
+        return str(index)

@@ -1,0 +1,85 @@
+"""The procedural (CGI-style) baseline used by benchmarks F8 and A5."""
+
+from repro.baseline import (
+    generate_homepage_site,
+    generate_homepage_site_external,
+    generate_news_site,
+    generate_news_site_sports,
+    source_lines,
+)
+from repro.datagen import generate_news_graph
+from repro.sites.homepage import fig2_data
+
+
+class TestHomepageBaseline:
+    def test_produces_same_page_inventory_as_strudel(self):
+        data = fig2_data()
+        pages = generate_homepage_site(data)
+        # index + 2 year + 3 category + abstracts + 2 per-abstract = 9,
+        # matching the declarative site's page count.
+        assert len(pages) == 9
+        assert "index.html" in pages
+        assert "year_1997.html" in pages
+
+    def test_internal_has_postscript_links(self):
+        pages = generate_homepage_site(fig2_data())
+        assert 'HREF="papers/toplas97.ps.gz"' in pages["year_1997.html"]
+
+    def test_external_drops_postscript(self):
+        pages = generate_homepage_site_external(fig2_data())
+        assert ".ps" not in pages["year_1997.html"]
+        # Same inventory, different presentation.
+        assert set(pages) == set(generate_homepage_site(fig2_data()))
+
+    def test_escaping(self):
+        data = fig2_data()
+        from repro.graph import Atom, Oid
+        data.add_edge(Oid("pub1"), "title", Atom.string("<script>"))
+        pages = generate_homepage_site(data)
+        assert "<script>" not in pages["abstracts.html"]
+
+
+class TestNewsBaseline:
+    def test_covers_sections_days_articles(self):
+        data = generate_news_graph(40)
+        pages = generate_news_site(data)
+        assert "index.html" in pages
+        assert any(name.startswith("sec_") for name in pages)
+        assert any(name.startswith("day_") for name in pages)
+        articles = [name for name in pages if name.startswith("art_")]
+        assert len(articles) == 40
+
+    def test_sports_version_is_filtered(self):
+        data = generate_news_graph(60)
+        general = generate_news_site(data)
+        sports = generate_news_site_sports(data)
+        general_articles = {n for n in general if n.startswith("art_")}
+        sports_articles = {n for n in sports if n.startswith("art_")}
+        assert sports_articles < general_articles
+        assert sports_articles
+
+    def test_related_links_rendered(self):
+        data = generate_news_graph(40)
+        pages = generate_news_site(data)
+        assert any("Related stories" in html
+                   for name, html in pages.items()
+                   if name.startswith("art_"))
+
+
+class TestSourceLines:
+    def test_counts_nonblank_lines(self):
+        def tiny():
+            x = 1
+
+            return x
+
+        assert source_lines(tiny) == 3
+
+    def test_sums_multiple_functions(self):
+        def a():
+            return 1
+
+        def b():
+            return 2
+
+        assert source_lines(a, b) == source_lines(a) + source_lines(b)

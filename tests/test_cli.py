@@ -1,0 +1,191 @@
+"""The command-line interface (python -m repro)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import load_data, load_data_file, load_templates, main
+from repro.graph import Oid
+from repro.graph.serialization import graph_to_json
+from repro.sites.homepage import FIG2_DDL, FIG3_QUERY
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Data + query + template files on disk."""
+    (tmp_path / "pubs.ddl").write_text(FIG2_DDL)
+    (tmp_path / "site.struql").write_text(FIG3_QUERY)
+    templates = tmp_path / "templates"
+    templates.mkdir()
+    (templates / "RootPage.tmpl").write_text(
+        "<h1>Pubs</h1><SFMTLIST @YearPage WRAP=UL>")
+    (templates / "YearPage.tmpl").write_text(
+        "<h1><SFMT @Year></h1><SFMTLIST @Paper FORMAT=EMBED>")
+    (templates / "PaperPresentation.component.tmpl").write_text(
+        "<SFMT @title>")
+    (templates / "ignored.txt").write_text("not a template")
+    return tmp_path
+
+
+class TestLoaders:
+    def test_ddl_file(self, workspace):
+        graph = load_data_file(str(workspace / "pubs.ddl"))
+        assert graph.has_node(Oid("pub1"))
+
+    def test_bib_file(self, tmp_path):
+        (tmp_path / "b.bib").write_text(
+            "@article{k, title={T}, year=1999}")
+        graph = load_data_file(str(tmp_path / "b.bib"))
+        assert graph.has_node(Oid("k"))
+
+    def test_csv_file_with_key_detection(self, tmp_path):
+        (tmp_path / "people.csv").write_text("login,name\nmff,Mary\n")
+        graph = load_data_file(str(tmp_path / "people.csv"))
+        assert graph.has_node(Oid("People_mff"))
+
+    def test_rec_file(self, tmp_path):
+        (tmp_path / "projects.rec").write_text("id: p1\nname: X\n")
+        graph = load_data_file(str(tmp_path / "projects.rec"))
+        assert graph.in_collection("Projects", Oid("Projects_p1"))
+
+    def test_xml_file(self, tmp_path):
+        (tmp_path / "d.xml").write_text('<root id="r"><a id="x"/></root>')
+        graph = load_data_file(str(tmp_path / "d.xml"))
+        assert graph.has_node(Oid("x"))
+
+    def test_json_file(self, tmp_path, tiny_graph):
+        (tmp_path / "g.json").write_text(graph_to_json(tiny_graph))
+        graph = load_data_file(str(tmp_path / "g.json"))
+        assert graph.has_node(Oid("root"))
+
+    def test_unknown_suffix(self, tmp_path):
+        (tmp_path / "x.dat").write_text("?")
+        from repro.errors import StrudelError
+        with pytest.raises(StrudelError):
+            load_data_file(str(tmp_path / "x.dat"))
+
+    def test_html_files_share_one_graph(self, tmp_path):
+        (tmp_path / "a.html").write_text(
+            '<html><a href="b.html">b</a></html>')
+        (tmp_path / "b.html").write_text("<html><title>B</title></html>")
+        graph = load_data(
+            [str(tmp_path / "a.html"), str(tmp_path / "b.html")], "G")
+        assert graph.get(Oid("a.html"), "link") == [Oid("b.html")]
+
+    def test_merge_multiple_sources(self, workspace, tmp_path):
+        (tmp_path / "extra.bib").write_text(
+            "@article{extra, title={E}, year=2000}")
+        graph = load_data([str(workspace / "pubs.ddl"),
+                           str(tmp_path / "extra.bib")], "BIBTEX")
+        assert graph.has_node(Oid("pub1")) and graph.has_node(Oid("extra"))
+
+    def test_template_dir(self, workspace):
+        templates = load_templates(str(workspace / "templates"))
+        assert templates.names() == ["PaperPresentation", "RootPage",
+                                     "YearPage"]
+        # .component.tmpl registers as a non-page template.
+        from repro.graph import Graph
+        graph = Graph("g")
+        page = Oid("p")
+        graph.add_node(page)
+
+
+class TestCommands:
+    def test_build_end_to_end(self, workspace, capsys):
+        out_dir = workspace / "www"
+        code = main(["build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--templates", str(workspace / "templates"),
+                     "--out", str(out_dir),
+                     "--verify-root", "RootPage",
+                     "--site-json", str(workspace / "site.json")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "site graph:" in printed and "wrote" in printed
+        assert (out_dir / "RootPage__.html").exists()
+        assert (workspace / "site.json").exists()
+
+    def test_build_verify_failure_exit_code(self, workspace, capsys):
+        code = main(["build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--verify-root", "NoSuchRoot"])
+        assert code == 1
+
+    def test_schema_command(self, workspace, capsys):
+        code = main(["schema", "--query", str(workspace / "site.struql")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert '(Q1 ^ Q2, "Paper", [v], [x])' in printed
+
+    def test_schema_dot(self, workspace, capsys):
+        main(["schema", "--query", str(workspace / "site.struql"),
+              "--dot"])
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_check_restricted(self, workspace, capsys):
+        code = main(["check", "--query", str(workspace / "site.struql")])
+        assert code == 0
+        assert "range restricted" in capsys.readouterr().out
+
+    def test_check_unrestricted(self, tmp_path, capsys):
+        (tmp_path / "bad.struql").write_text("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """)
+        code = main(["check", "--query", str(tmp_path / "bad.struql")])
+        assert code == 2
+        assert "warning" in capsys.readouterr().out
+
+    def test_diff_command(self, workspace, capsys):
+        # Build + save, then diff with modified data.
+        main(["build",
+              "--data", str(workspace / "pubs.ddl"),
+              "--query", str(workspace / "site.struql"),
+              "--site-json", str(workspace / "old.json")])
+        capsys.readouterr()
+        modified = FIG2_DDL + """
+object pub3 in Publications { title "New" year 2002 }
+"""
+        (workspace / "pubs2.ddl").write_text(modified)
+        code = main(["diff",
+                     "--data", str(workspace / "pubs2.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--old-site", str(workspace / "old.json")])
+        assert code == 3
+        printed = capsys.readouterr().out
+        assert "+ YearPage(2002)" in printed
+
+    def test_diff_no_change(self, workspace, capsys):
+        main(["build",
+              "--data", str(workspace / "pubs.ddl"),
+              "--query", str(workspace / "site.struql"),
+              "--site-json", str(workspace / "old.json")])
+        code = main(["diff",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--old-site", str(workspace / "old.json")])
+        assert code == 0
+
+    def test_error_reporting(self, tmp_path, capsys):
+        (tmp_path / "broken.struql").write_text("this is not struql")
+        code = main(["check", "--query", str(tmp_path / "broken.struql")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSiteDot:
+    def test_build_emits_dot(self, workspace, capsys):
+        code = main(["build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--site-dot", str(workspace / "site.dot")])
+        assert code == 0
+        dot = (workspace / "site.dot").read_text()
+        assert dot.startswith("digraph")
+        assert "YearPage(1997)" in dot

@@ -1,0 +1,96 @@
+"""Synthetic workload generators: determinism, scale, irregularity."""
+
+from repro.datagen import (
+    SECTIONS,
+    build_org_mediator,
+    generate_bibtex,
+    generate_news_graph,
+    generate_news_pages,
+    generate_org_sources,
+)
+from repro.graph import Oid
+from repro.wrappers import BibTexWrapper
+
+
+class TestBibtexGen:
+    def test_deterministic(self):
+        assert generate_bibtex(10, seed=1) == generate_bibtex(10, seed=1)
+        assert generate_bibtex(10, seed=1) != generate_bibtex(10, seed=2)
+
+    def test_requested_entry_count(self):
+        graph = BibTexWrapper().wrap(generate_bibtex(25))
+        assert len(graph.collection("Publications")) == 25
+
+    def test_irregularities_present(self):
+        graph = BibTexWrapper().wrap(generate_bibtex(40, seed=4))
+        months = sum(1 for p in graph.collection("Publications")
+                     if graph.get_one(p, "month") is not None)
+        assert 0 < months < 40  # some entries lack a month
+        journals = sum(1 for p in graph.collection("Publications")
+                       if graph.get_one(p, "journal") is not None)
+        booktitles = sum(1 for p in graph.collection("Publications")
+                         if graph.get_one(p, "booktitle") is not None)
+        assert journals and booktitles  # both venue kinds occur
+
+    def test_year_range(self):
+        graph = BibTexWrapper().wrap(
+            generate_bibtex(30, year_range=(1991, 1993)))
+        years = {graph.get_one(p, "year").value
+                 for p in graph.collection("Publications")}
+        assert years <= {1991, 1992, 1993}
+
+
+class TestNewsGen:
+    def test_deterministic_pages(self):
+        assert generate_news_pages(5, seed=2) == \
+            generate_news_pages(5, seed=2)
+
+    def test_article_count_and_metadata(self):
+        graph = generate_news_graph(30)
+        articles = graph.collection("Articles")
+        assert len(articles) == 30
+        sections = {str(graph.get_one(a, "meta-section"))
+                    for a in articles}
+        assert sections <= set(SECTIONS)
+        assert len(sections) > 1
+
+    def test_cross_links_resolve(self):
+        graph = generate_news_graph(30)
+        internal_links = [
+            e for e in graph.edges()
+            if e.label == "link" and isinstance(e.target, Oid)]
+        assert internal_links
+
+
+class TestOrgGen:
+    def test_five_sources(self):
+        raw = generate_org_sources(people=20, projects=4, publications=6)
+        assert set(raw) == {"people", "orgs", "projects", "pubs",
+                            "homepages"}
+        assert isinstance(raw["homepages"], dict)
+
+    def test_mediated_scale(self):
+        data = build_org_mediator(people=20, projects=4,
+                                  publications=6).warehouse()
+        assert len(data.collection("Persons")) == 20
+        assert len(data.collection("Projects")) == 4
+        assert len(data.collection("Publications")) == 6
+        assert data.collection("HandPages")
+
+    def test_project_irregularities(self):
+        data = build_org_mediator(people=40, projects=16,
+                                  publications=5).warehouse()
+        projects = data.collection("Projects")
+        with_synopsis = sum(1 for p in projects
+                            if data.get_one(p, "synopsis") is not None)
+        assert 0 < with_synopsis < len(projects)
+        with_sponsor = sum(1 for p in projects
+                           if data.get_one(p, "sponsor") is not None)
+        assert 0 < with_sponsor < len(projects)
+
+    def test_determinism_across_mediators(self):
+        one = build_org_mediator(people=15, projects=3,
+                                 publications=4, seed=9).warehouse()
+        two = build_org_mediator(people=15, projects=3,
+                                 publications=4, seed=9).warehouse()
+        assert set(one.edges()) == set(two.edges())

@@ -1,0 +1,172 @@
+"""The STRUDEL data-definition language (Fig 2)."""
+
+import pytest
+
+from repro.ddl import parse_ddl, write_ddl
+from repro.errors import DDLError
+from repro.graph import Atom, AtomType, Graph, Oid
+from repro.sites.homepage import FIG2_DDL
+
+
+class TestFig2:
+    """The paper's Fig 2 fragment parses into the described graph."""
+
+    def test_objects_and_collection(self, fig2_graph):
+        assert fig2_graph.node_count == 2
+        members = fig2_graph.collection("Publications")
+        assert members == [Oid("pub1"), Oid("pub2")]
+
+    def test_irregular_attributes(self, fig2_graph):
+        # pub1 has month/journal; pub2 has booktitle instead.
+        assert fig2_graph.get_one(Oid("pub1"), "month") is not None
+        assert fig2_graph.get_one(Oid("pub2"), "month") is None
+        assert fig2_graph.get_one(Oid("pub1"), "journal") is not None
+        assert fig2_graph.get_one(Oid("pub2"), "booktitle") is not None
+
+    def test_type_directives_apply(self, fig2_graph):
+        ps = fig2_graph.get_one(Oid("pub1"), "postscript")
+        assert ps.type is AtomType.POSTSCRIPT_FILE
+        abstract = fig2_graph.get_one(Oid("pub1"), "abstract")
+        assert abstract.type is AtomType.TEXT_FILE
+
+    def test_int_values_keep_their_type(self, fig2_graph):
+        year = fig2_graph.get_one(Oid("pub1"), "year")
+        assert year.type is AtomType.INT and year.value == 1997
+
+    def test_multivalued_category(self, fig2_graph):
+        categories = fig2_graph.get(Oid("pub1"), "category")
+        assert len(categories) == 2
+
+    def test_hyphenated_attribute_name(self, fig2_graph):
+        assert str(fig2_graph.get_one(Oid("pub1"), "pub-type")) == "article"
+
+
+class TestParser:
+    def test_multiple_collections(self):
+        graph = parse_ddl("""
+        object x in A, B { v 1 }
+        """)
+        assert graph.in_collection("A", Oid("x"))
+        assert graph.in_collection("B", Oid("x"))
+
+    def test_reference_values(self):
+        graph = parse_ddl("""
+        object a { friend &b }
+        object b { name "B" }
+        """)
+        assert graph.get_one(Oid("a"), "friend") == Oid("b")
+
+    def test_forward_reference(self):
+        graph = parse_ddl("""
+        object a { next &z }
+        object z { }
+        """)
+        assert graph.get_one(Oid("a"), "next") == Oid("z")
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(DDLError):
+            parse_ddl("object a { next &nowhere }")
+
+    def test_nested_object(self):
+        graph = parse_ddl("""
+        object a { address { city "Paris" zip 75000 } }
+        """)
+        nested = graph.get_one(Oid("a"), "address")
+        assert isinstance(nested, Oid)
+        assert str(graph.get_one(nested, "city")) == "Paris"
+
+    def test_scalar_literals(self):
+        graph = parse_ddl("""
+        object a { i 3 f 2.5 t true f2 false n null neg -7 }
+        """)
+        assert graph.get_one(Oid("a"), "i") == Atom.int(3)
+        assert graph.get_one(Oid("a"), "f") == Atom.float(2.5)
+        assert graph.get_one(Oid("a"), "t") == Atom.bool(True)
+        assert graph.get_one(Oid("a"), "f2") == Atom.bool(False)
+        assert graph.get_one(Oid("a"), "neg") == Atom.int(-7)
+
+    def test_string_escapes(self):
+        graph = parse_ddl(r'object a { s "line\nbreak \"quoted\"" }')
+        assert graph.get_one(Oid("a"), "s").value == 'line\nbreak "quoted"'
+
+    def test_comments_ignored(self):
+        graph = parse_ddl("""
+        // a line comment
+        # another
+        /* a block
+           comment */
+        object a { v 1 }
+        """)
+        assert graph.node_count == 1
+
+    def test_directive_overridable(self):
+        # "These directives are not constraints": an int stays an int
+        # even when the collection declares the attribute as a file.
+        graph = parse_ddl("""
+        collection C { x ps }
+        object a in C { x 3 }
+        object b in C { x "papers/y.ps" }
+        """)
+        assert graph.get_one(Oid("a"), "x").type is AtomType.INT
+        assert graph.get_one(Oid("b"), "x").type is \
+            AtomType.POSTSCRIPT_FILE
+
+    def test_url_directive(self):
+        graph = parse_ddl("""
+        collection C { home url }
+        object a in C { home "http://x/y" }
+        """)
+        assert graph.get_one(Oid("a"), "home").type is AtomType.URL
+
+    def test_unknown_type_directive(self):
+        with pytest.raises(DDLError):
+            parse_ddl("collection C { x blob }")
+
+    def test_syntax_errors_carry_line(self):
+        with pytest.raises(DDLError) as err:
+            parse_ddl("object a {\n  x\n}")
+        assert err.value.line is not None
+
+    def test_unterminated_string(self):
+        with pytest.raises(DDLError):
+            parse_ddl('object a { s "oops }')
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(DDLError):
+            parse_ddl("graph a { }")
+
+
+class TestWriter:
+    def roundtrip(self, graph: Graph) -> Graph:
+        return parse_ddl(write_ddl(graph))
+
+    def test_fig2_roundtrip(self, fig2_graph):
+        back = self.roundtrip(fig2_graph)
+        assert back.node_count == fig2_graph.node_count
+        assert back.edge_count == fig2_graph.edge_count
+        assert back.collection_names() == fig2_graph.collection_names()
+        ps = back.get_one(Oid("pub1"), "postscript")
+        assert ps.type is AtomType.POSTSCRIPT_FILE
+
+    def test_references_roundtrip(self):
+        graph = parse_ddl("""
+        object a { friend &b friend &c }
+        object b in People { }
+        object c in People { }
+        """)
+        back = self.roundtrip(graph)
+        assert set(back.get(Oid("a"), "friend")) == {Oid("b"), Oid("c")}
+
+    def test_nested_inlined(self):
+        graph = parse_ddl('object a { address { city "X" } }')
+        text = write_ddl(graph)
+        assert text.count("object") == 1  # nested emitted inline
+        back = self.roundtrip(graph)
+        nested = back.get_one(Oid("a"), "address")
+        assert str(back.get_one(nested, "city")) == "X"
+
+    def test_unsafe_names_sanitized(self):
+        graph = Graph("g")
+        graph.add_edge(Oid("weird name!"), "l", Atom.int(1))
+        back = self.roundtrip(graph)
+        assert back.node_count == 1

@@ -1,0 +1,32 @@
+"""The example scripts run end to end (smoke level, small scales)."""
+
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/news_site.py", ["40"]),
+    ("examples/org_site.py", ["30"]),
+    ("examples/dynamic_site.py", ["40"]),
+    ("examples/multilingual_site.py", ["4"]),
+    ("examples/statistics_page.py", ["20"]),
+    ("examples/search_form.py", ["20"]),
+    ("examples/restructure_site.py", ["20"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES,
+                         ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, args, tmp_path):
+    needs_dir = script.split("/")[-1] in (
+        "quickstart.py", "news_site.py", "org_site.py",
+        "multilingual_site.py")  # statistics/dynamic pick their own dir
+    argv = args + ([str(tmp_path)] if needs_dir else [])
+    completed = subprocess.run(
+        [sys.executable, script, *argv],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()

@@ -1,0 +1,141 @@
+"""Traversal algorithms over the data model."""
+
+from repro.graph import (
+    Atom,
+    Graph,
+    Oid,
+    graph_diameter,
+    iter_paths,
+    reachable,
+    reachable_many,
+    shortest_path,
+    transitive_closure,
+    unreachable_from,
+    weakly_connected_components,
+)
+
+
+def chain(*names: str) -> Graph:
+    graph = Graph("chain")
+    for left, right in zip(names, names[1:]):
+        graph.add_edge(Oid(left), "next", Oid(right))
+    return graph
+
+
+class TestReachable:
+    def test_includes_start_by_default(self, tiny_graph):
+        hits = reachable(tiny_graph, Oid("root"))
+        assert Oid("root") in hits
+
+    def test_excludes_start_when_asked(self, tiny_graph):
+        hits = reachable(tiny_graph, Oid("root"), include_start=False)
+        assert Oid("root") not in hits
+        assert Oid("a") in hits and Oid("img") in hits
+
+    def test_atoms_optional(self, tiny_graph):
+        without = reachable(tiny_graph, Oid("root"))
+        with_atoms = reachable(tiny_graph, Oid("root"), include_atoms=True)
+        assert Atom.string("hello") not in without
+        assert Atom.string("hello") in with_atoms
+
+    def test_label_filter(self, tiny_graph):
+        only_sec = reachable(tiny_graph, Oid("root"),
+                             label_ok=lambda lbl: lbl == "sec")
+        assert Oid("a") in only_sec and Oid("img") not in only_sec
+
+    def test_cycle_terminates(self):
+        graph = chain("a", "b", "c")
+        graph.add_edge(Oid("c"), "next", Oid("a"))
+        hits = reachable(graph, Oid("a"))
+        assert hits == {Oid("a"), Oid("b"), Oid("c")}
+
+    def test_reachable_many_union(self, tiny_graph):
+        hits = reachable_many(tiny_graph, [Oid("a"), Oid("b")])
+        assert Oid("img") in hits and Oid("root") not in hits
+
+
+class TestUnreachable:
+    def test_all_covered(self, tiny_graph):
+        assert unreachable_from(tiny_graph, [Oid("root")]) == set()
+
+    def test_orphan_detected(self, tiny_graph):
+        tiny_graph.add_edge(Oid("island"), "l", Atom.int(1))
+        missing = unreachable_from(tiny_graph, [Oid("root")])
+        assert missing == {Oid("island")}
+
+
+class TestShortestPath:
+    def test_trivial(self, tiny_graph):
+        assert shortest_path(tiny_graph, Oid("root"), Oid("root")) == []
+
+    def test_direct(self, tiny_graph):
+        path = shortest_path(tiny_graph, Oid("root"), Oid("a"))
+        assert [e.label for e in path] == ["sec"]
+
+    def test_two_hops_is_minimal(self, tiny_graph):
+        path = shortest_path(tiny_graph, Oid("root"), Oid("img"))
+        assert [e.label for e in path] == ["sec", "pic"]
+
+    def test_to_atom(self, tiny_graph):
+        path = shortest_path(tiny_graph, Oid("root"), Atom.string("hello"))
+        assert path is not None and path[-1].label == "txt"
+
+    def test_unreachable_returns_none(self, tiny_graph):
+        assert shortest_path(tiny_graph, Oid("img"), Oid("root")) is None
+
+
+class TestClosure:
+    def test_dag_closure(self):
+        graph = chain("a", "b", "c")
+        closure = transitive_closure(graph)
+        assert closure[Oid("a")] == {Oid("b"), Oid("c")}
+        assert closure[Oid("c")] == set()
+
+    def test_cycle_includes_self(self):
+        graph = chain("a", "b")
+        graph.add_edge(Oid("b"), "next", Oid("a"))
+        closure = transitive_closure(graph)
+        assert Oid("a") in closure[Oid("a")]
+
+    def test_self_loop(self):
+        graph = Graph("g")
+        graph.add_edge(Oid("a"), "self", Oid("a"))
+        assert Oid("a") in transitive_closure(graph)[Oid("a")]
+
+
+class TestComponents:
+    def test_single_component(self, tiny_graph):
+        assert len(weakly_connected_components(tiny_graph)) == 1
+
+    def test_two_components(self, tiny_graph):
+        tiny_graph.add_edge(Oid("x"), "l", Oid("y"))
+        assert len(weakly_connected_components(tiny_graph)) == 2
+
+    def test_shared_atom_joins(self):
+        graph = Graph("g")
+        shared = Atom.string("shared")
+        graph.add_edge(Oid("a"), "l", shared)
+        graph.add_edge(Oid("b"), "l", shared)
+        assert len(weakly_connected_components(graph)) == 1
+
+
+class TestIterPaths:
+    def test_respects_max_length(self, tiny_graph):
+        paths = list(iter_paths(tiny_graph, Oid("root"), 1))
+        assert all(len(p) == 1 for p in paths)
+        deeper = list(iter_paths(tiny_graph, Oid("root"), 3))
+        assert any(len(p) == 3 for p in deeper)
+
+    def test_no_revisits_on_cycles(self):
+        graph = chain("a", "b")
+        graph.add_edge(Oid("b"), "next", Oid("a"))
+        paths = list(iter_paths(graph, Oid("a"), 10))
+        assert len(paths) == 2  # a->b and a->b->a, then stop
+
+
+class TestDiameter:
+    def test_chain_diameter(self):
+        assert graph_diameter(chain("a", "b", "c", "d")) == 3
+
+    def test_empty_graph(self):
+        assert graph_diameter(Graph("g")) == 0

@@ -1,0 +1,48 @@
+"""GraphViz export of concrete graphs."""
+
+from repro.graph import Atom, Graph, Oid, graph_to_dot
+
+
+class TestDot:
+    def test_basic_shape(self, tiny_graph):
+        dot = graph_to_dot(tiny_graph)
+        assert dot.startswith("digraph")
+        assert '"root" -> "a" [label="sec"];' in dot
+        assert 'collection: Root' in dot
+
+    def test_atoms_as_boxes(self, tiny_graph):
+        dot = graph_to_dot(tiny_graph)
+        assert 'shape=box, label="hello"' in dot
+
+    def test_atoms_suppressed(self, tiny_graph):
+        dot = graph_to_dot(tiny_graph, include_atoms=False)
+        assert "hello" not in dot
+
+    def test_shared_atoms_deduplicated(self):
+        graph = Graph("g")
+        shared = Atom.string("v")
+        graph.add_edge(Oid("a"), "l", shared)
+        graph.add_edge(Oid("b"), "l", shared)
+        dot = graph_to_dot(graph)
+        assert dot.count('label="v"') == 1
+
+    def test_max_nodes_truncates(self, fig4_site):
+        dot = graph_to_dot(fig4_site, max_nodes=3)
+        assert '"..."' in dot
+
+    def test_keep_filter(self, tiny_graph):
+        dot = graph_to_dot(tiny_graph, keep=lambda n: n.name != "img")
+        assert '"img"' not in dot
+        assert '"a"' in dot
+
+    def test_quoting(self):
+        graph = Graph("g")
+        graph.add_edge(Oid('we "quote"'), "l", Atom.string('ha "ha"'))
+        dot = graph_to_dot(graph)
+        assert '\\"quote\\"' in dot
+
+    def test_long_atom_labels_truncated(self):
+        graph = Graph("g")
+        graph.add_edge(Oid("a"), "l", Atom.string("x" * 100))
+        dot = graph_to_dot(graph)
+        assert "..." in dot

@@ -1,0 +1,166 @@
+"""Cross-module integration: the full Fig 1 architecture end to end."""
+
+import os
+
+import pytest
+
+from repro.datagen import build_org_mediator
+from repro.graph import Atom, Oid
+from repro.repository import Repository, load_repository, save_repository
+from repro.site import (
+    DynamicSiteServer,
+    ReachableFromRoot,
+    Verifier,
+    Website,
+    build_site_schema,
+)
+from repro.sites.homepage import FIG3_QUERY, fig7_templates
+from repro.struql import QueryEngine
+from repro.struql.rewriter import run_pipeline
+from repro.wrappers import BibTexWrapper
+
+
+class TestFullPipeline:
+    """Wrapper -> mediator -> repository -> query -> templates -> HTML."""
+
+    def test_org_site_end_to_end(self, tmp_path):
+        mediator = build_org_mediator(people=30, projects=6,
+                                      publications=10)
+        repo = Repository("org")
+        mediator.store_warehouse(repo)
+        from repro.sites.org import ORG_QUERY, org_templates
+        data = repo.graph("data")
+        data.name = "ORGDATA"
+        repo.store(data)
+        engine = QueryEngine()
+        result = engine.run(ORG_QUERY, repo)
+        assert repo.has_graph("OrgSite")
+        site = Website(data, ORG_QUERY, org_templates())
+        report = site.verify([ReachableFromRoot("RootPage")],
+                             schema_level=True)
+        assert report.ok
+        out_dir = tmp_path / "www"
+        written = site.generate(str(out_dir))
+        assert len(written) > 30
+        # Spot-check one person page body.
+        person = next(n for n in site.site_graph.nodes()
+                      if n.skolem_fn == "PersonPage")
+        html = open(written[person]).read()
+        assert "Email" in html
+
+    def test_repository_persistence_roundtrip(self, tmp_path,
+                                              fig2_graph):
+        repo = Repository("hp")
+        repo.store(fig2_graph)
+        QueryEngine().run(FIG3_QUERY, repo)
+        save_repository(repo, str(tmp_path))
+        restored = load_repository(str(tmp_path))
+        site_graph = restored.graph("HomePage")
+        root = Oid.skolem("RootPage", ())
+        assert len(site_graph.get(root, "YearPage")) == 2
+        # The restored site graph renders identically.
+        from repro.templates import HtmlGenerator
+        original = HtmlGenerator(repo.graph("HomePage"),
+                                 fig7_templates()).render(root)
+        again = HtmlGenerator(site_graph, fig7_templates()).render(root)
+        assert original == again
+
+    def test_multi_query_site_with_navbar(self, fig2_graph, tmp_path):
+        """The suciu-site pattern: compose queries, then render."""
+        repo = Repository()
+        repo.store(fig2_graph)
+        step1 = FIG3_QUERY
+        step2 = """
+        input HomePage
+        create NavBar()
+        { where TopPages(p)
+          link NavBar() -> "entry" -> p }
+        output HomePage2
+        """
+        # First mark the root as a top page via a tiny bridging query.
+        bridge = """
+        input HomePage
+        where x -> "YearPage" -> y
+        collect TopPages(x)
+        output HomePage
+        """
+        run_pipeline([step1, bridge, step2], repo)
+        final = repo.graph("HomePage2")
+        nav = Oid.skolem("NavBar", ())
+        assert len(final.get(nav, "entry")) == 1
+
+    def test_dynamic_server_over_wrapped_bibtex(self):
+        bib = """
+        @article{k1, title={One}, author={A}, year=1995,
+                 abstract={abstracts/k1.txt}}
+        @inproceedings{k2, title={Two}, author={B and C}, year=1996,
+                 abstract={abstracts/k2.txt}}
+        """
+        data = BibTexWrapper().wrap(bib, "BIBTEX")
+        server = DynamicSiteServer(FIG3_QUERY, data, fig7_templates())
+        responses = server.crawl()
+        assert all(r.status == 200 for r in responses)
+        year_pages = [r for r in responses
+                      if r.oid.skolem_fn == "YearPage"]
+        assert len(year_pages) == 2
+
+    def test_schema_guides_verification_before_build(self, fig3_query):
+        """Static verification needs no data at all."""
+        schema = build_site_schema(fig3_query)
+        report = Verifier([ReachableFromRoot("RootPage")]).verify(
+            schema=schema)
+        assert report.ok
+
+
+class TestFileLoader:
+    def test_abstract_files_embed(self, fig2_graph, tmp_path):
+        abstracts = {"abstracts/toplas97.txt": "We describe SLED...",
+                     "abstracts/icde98.txt": "Graph schemas..."}
+        site = Website(fig2_graph, FIG3_QUERY, fig7_templates(),
+                       loader=abstracts.get)
+        abstract_page = Oid.skolem("AbstractPage", (Oid("pub1"),))
+        html = site.generator().render(abstract_page)
+        assert "We describe SLED..." in html
+
+
+class TestWebsiteEdges:
+    def test_needs_at_least_one_query(self, fig2_graph):
+        from repro.errors import SiteError
+        with pytest.raises(SiteError):
+            Website(fig2_graph, [])
+
+    def test_build_is_idempotent(self, fig2_graph):
+        from repro.sites.homepage import FIG3_QUERY
+        site = Website(fig2_graph, FIG3_QUERY)
+        first = site.site_graph
+        site.build()
+        assert site.site_graph is first
+
+    def test_schema_by_index(self, fig2_graph):
+        from repro.sites.homepage import FIG3_QUERY
+        site = Website(fig2_graph, [FIG3_QUERY, """
+            input HomePage
+            create Nav()
+            { where x -> "YearPage" -> y
+              link Nav() -> "to" -> y }
+            output Final
+        """])
+        first_schema = site.schema(0)
+        last_schema = site.schema()
+        assert "YearPage" in first_schema.nodes
+        assert last_schema.nodes == ["Nav", "N_S"]
+
+    def test_metrics_count_all_queries(self, fig2_graph):
+        from repro.sites.homepage import FIG3_QUERY
+        single = Website(fig2_graph.copy("BIBTEX"), FIG3_QUERY)
+        double = Website(fig2_graph.copy("BIBTEX"), [FIG3_QUERY, """
+            input HomePage
+            create Nav()
+            { where x -> "YearPage" -> y
+              link Nav() -> "to" -> y }
+            output Final
+        """])
+        assert double.metrics().query_lines > \
+            single.metrics().query_lines
+        assert double.metrics().link_clauses == \
+            single.metrics().link_clauses + 1

@@ -1,0 +1,218 @@
+"""Direct unit tests for internal machinery: errors, skolem registry,
+predicates, construction, plan operators, engine diagnostics."""
+
+import pytest
+
+from repro.errors import (
+    AccessPatternError,
+    ConstraintViolation,
+    DDLError,
+    MissingTemplateError,
+    PageNotFoundError,
+    StruQLSyntaxError,
+    StrudelError,
+    TemplateSyntaxError,
+    UnboundVariableError,
+    UnknownCollectionError,
+    UnknownGraphError,
+    UnknownObjectError,
+    UnknownPredicateError,
+)
+from repro.graph import Atom, Graph, Oid
+from repro.struql import (
+    ExecutionContext,
+    Plan,
+    QueryEngine,
+    SkolemRegistry,
+    default_registry,
+    parse_query,
+)
+from repro.struql.construction import GraphBuilder
+from repro.struql.ast import (
+    CollectSpec,
+    Const,
+    LinkSpec,
+    SkolemTerm,
+    Var,
+)
+from repro.struql.plan import make_op
+
+
+class TestErrors:
+    def test_all_derive_from_strudel_error(self):
+        for exc in (DDLError("x"), UnknownGraphError("g"),
+                    UnknownCollectionError("c"), UnknownObjectError("o"),
+                    UnknownPredicateError("p"), UnboundVariableError("v"),
+                    StruQLSyntaxError("s"), TemplateSyntaxError("t"),
+                    MissingTemplateError(Oid("n")),
+                    PageNotFoundError(Oid("n")),
+                    AccessPatternError("a"),
+                    ConstraintViolation("c", ["w"])):
+            assert isinstance(exc, StrudelError)
+
+    def test_positions_in_messages(self):
+        assert "(line 3)" in str(DDLError("bad", line=3))
+        assert "line 2, column 5" in str(StruQLSyntaxError("bad", 2, 5))
+
+    def test_constraint_violation_truncates_witnesses(self):
+        violation = ConstraintViolation("c", [f"w{i}" for i in range(9)])
+        assert "+4 more" in str(violation)
+        assert violation.witnesses[8] == "w8"
+
+    def test_payload_attributes(self):
+        assert UnknownPredicateError("frob").name == "frob"
+        assert UnknownGraphError("g").name == "g"
+        assert PageNotFoundError(Oid("p")).oid == Oid("p")
+
+
+class TestSkolemRegistry:
+    def test_bookkeeping(self):
+        registry = SkolemRegistry()
+        a = registry.apply("F", [Atom.int(1)])
+        b = registry.apply("F", [Atom.int(2)])
+        registry.apply("G", [])
+        assert registry.functions() == ["F", "G"]
+        assert registry.created_by("F") == [a, b]
+        assert len(registry) == 3
+        assert registry.all_created() == {a, b, registry.apply("G", [])}
+        assert "F" in repr(registry)
+
+    def test_unknown_function_empty(self):
+        assert SkolemRegistry().created_by("nope") == []
+
+
+class TestPredicateRegistry:
+    def test_copy_is_independent(self):
+        base = default_registry()
+        clone = base.copy()
+        clone.register("mine", lambda v: True)
+        assert clone.has("mine") and not base.has("mine")
+
+    def test_case_insensitive(self):
+        registry = default_registry()
+        assert registry.has("ISPOSTSCRIPT")
+        assert registry.lookup("ispostscript")(Atom.file("a.ps"))
+
+    def test_names_sorted(self):
+        names = default_registry().names()
+        assert names == sorted(names)
+
+    def test_is_name_predicate(self):
+        fn = default_registry().lookup("isName")
+        assert fn(Atom.string("valid_name"))
+        assert fn("bare-string")
+        assert not fn(Atom.string("3starts-with-digit"))
+        assert not fn(Atom.string(""))
+        assert not fn(Atom.int(3))
+
+
+class TestGraphBuilder:
+    def make(self):
+        data = Graph("in")
+        data.add_node(Oid("d"))
+        output = Graph("out")
+        return GraphBuilder(output, data, SkolemRegistry()), data, output
+
+    def test_resolve_const_var_skolem(self):
+        builder, _, _ = self.make()
+        row = {"x": Oid("d"), "l": "label"}
+        assert builder.resolve(Const(Atom.int(3)), row) == Atom.int(3)
+        assert builder.resolve(Var("x"), row) == Oid("d")
+        term = SkolemTerm("F", (Var("x"),))
+        assert builder.resolve(term, row) == Oid.skolem("F", (Oid("d"),))
+
+    def test_unbound_variable_raises(self):
+        from repro.errors import StruQLSemanticError
+        builder, _, _ = self.make()
+        with pytest.raises(StruQLSemanticError):
+            builder.resolve(Var("missing"), {})
+
+    def test_link_label_from_arc_variable(self):
+        builder, _, output = self.make()
+        row = {"x": Oid("d"), "l": "attr"}
+        builder.apply_creates([SkolemTerm("F", (Var("x"),))], row)
+        builder.apply_links([LinkSpec(SkolemTerm("F", (Var("x"),)),
+                                      Var("l"), Var("x"))], row)
+        f = Oid.skolem("F", (Oid("d"),))
+        assert output.has_edge(f, "attr", Oid("d"))
+
+    def test_link_label_must_be_labelable(self):
+        from repro.errors import StruQLSemanticError
+        builder, _, _ = self.make()
+        row = {"x": Oid("d"), "l": Oid("d")}  # an oid can't be a label
+        builder.apply_creates([SkolemTerm("F", (Var("x"),))], row)
+        with pytest.raises(StruQLSemanticError):
+            builder.apply_links([LinkSpec(SkolemTerm("F", (Var("x"),)),
+                                          Var("l"), Var("x"))], row)
+
+    def test_collect_string_becomes_atom(self):
+        builder, _, output = self.make()
+        builder.apply_collects([CollectSpec("Labels", Var("l"))],
+                               {"l": "year"})
+        assert output.collection("Labels") == [Atom.string("year")]
+
+
+class TestPlanInternals:
+    def test_plan_explain_lists_ops(self, fig2_graph):
+        query = parse_query("""
+            input BIBTEX
+            where Publications(x), x -> "year" -> y, y > 1990
+            create F(x)
+            output O
+        """)
+        conditions = next(b for b in query.blocks()
+                          if b.conditions).conditions
+        plan = Plan.from_conditions(conditions)
+        explained = plan.explain()
+        assert "member/filter" in explained
+        assert "compare" in explained
+        assert len(plan) == 3
+        assert "Plan(" in repr(plan)
+
+    def test_empty_plan(self):
+        plan = Plan([])
+        assert plan.explain() == "(empty plan)"
+        ctx = ExecutionContext(Graph("g"))
+        assert plan.execute(ctx) == [{}]
+
+    def test_ops_have_repr(self, fig2_graph):
+        query = parse_query("""
+            input BIBTEX
+            where Publications(x), not(isPostScript(x)),
+                  x -> * -> v, l in {"a"}
+            create F(x)
+            output O
+        """)
+        conditions = next(b for b in query.blocks()
+                          if b.conditions).conditions
+        for condition in conditions:
+            op = make_op(condition)
+            assert type(op).__name__ in repr(op)
+            assert op.explain()
+
+    def test_pipeline_short_circuits_on_empty(self, fig2_graph):
+        ctx = ExecutionContext(fig2_graph)
+        query = parse_query("""
+            input BIBTEX
+            where Publications(x), x -> "nope" -> v, v > 3
+            create F(x)
+            output O
+        """)
+        conditions = next(b for b in query.blocks()
+                          if b.conditions).conditions
+        plan = Plan.from_conditions(conditions)
+        assert plan.execute(ctx) == []
+
+
+class TestEngineDiagnostics:
+    def test_result_explain_contains_plans(self, fig2_graph, fig3_query):
+        result = QueryEngine().evaluate(fig3_query, fig2_graph)
+        text = result.explain()
+        assert "block" in text and "rows" in text
+        assert "(no conditions)" in text  # the top block
+        assert "edge-step" in text or "member/filter" in text
+
+    def test_traces_have_timing(self, fig2_graph, fig3_query):
+        result = QueryEngine().evaluate(fig3_query, fig2_graph)
+        assert all(t.seconds >= 0 for t in result.traces)
+        assert any(t.label == "Q1" for t in result.traces)

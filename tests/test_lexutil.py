@@ -1,0 +1,89 @@
+"""The shared lexical scanner."""
+
+import pytest
+
+from repro.lexutil import EOF, FLOAT, IDENT, INT, PUNCT, STRING, ScanError, scan
+
+PUNCT_TABLE = ("->", "{", "}", "(", ")", ",", "=", "*")
+
+
+def tokens(text: str, punct=PUNCT_TABLE):
+    return [(t.kind, t.text) for t in scan(text, punct)
+            if t.kind != EOF]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords_look_alike(self):
+        assert tokens("where Foo _bar") == [
+            (IDENT, "where"), (IDENT, "Foo"), (IDENT, "_bar")]
+
+    def test_numbers(self):
+        assert tokens("42 2.5") == [(INT, "42"), (FLOAT, "2.5")]
+
+    def test_scientific_notation(self):
+        assert tokens("2.5e-308 1E6 3e+2") == [
+            (FLOAT, "2.5e-308"), (FLOAT, "1E6"), (FLOAT, "3e+2")]
+
+    def test_exponent_requires_digits(self):
+        # '3e' is a number followed by an identifier, not a float.
+        assert tokens("3 exam") == [(INT, "3"), (IDENT, "exam")]
+
+    def test_negative_numbers_only_without_minus_operator(self):
+        assert tokens("-3", punct=("{",)) == [(INT, "-3")]
+        # With '->' as punctuation, '-' cannot start a number.
+        with pytest.raises(ScanError):
+            tokens("-3", punct=("->",))
+
+    def test_strings_with_escapes(self):
+        toks = tokens(r'"a\"b\n"')
+        assert toks == [(STRING, 'a"b\n')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScanError):
+            tokens('"open')
+        with pytest.raises(ScanError):
+            tokens('"line\nbreak"')
+
+    def test_punctuation_longest_match(self):
+        assert tokens("x->y") == [(IDENT, "x"), (PUNCT, "->"),
+                                  (IDENT, "y")]
+
+    def test_unknown_character(self):
+        with pytest.raises(ScanError) as err:
+            tokens("a ? b")
+        assert err.value.line == 1
+
+
+class TestComments:
+    def test_line_comments(self):
+        assert tokens("a // rest\nb # more\nc") == [
+            (IDENT, "a"), (IDENT, "b"), (IDENT, "c")]
+
+    def test_block_comments(self):
+        assert tokens("a /* x\ny */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ScanError):
+            tokens("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        all_tokens = list(scan("ab\n  cd", PUNCT_TABLE))
+        cd = next(t for t in all_tokens if t.text == "cd")
+        assert cd.line == 2 and cd.column == 3
+
+    def test_position_after_block_comment(self):
+        all_tokens = list(scan("/* one\ntwo */ x", PUNCT_TABLE))
+        x = next(t for t in all_tokens if t.text == "x")
+        assert x.line == 2
+
+    def test_eof_token_always_last(self):
+        assert list(scan("", PUNCT_TABLE))[-1].kind == EOF
+
+    def test_custom_ident_charset(self):
+        toks = [(t.kind, t.text) for t in scan(
+            "pub-type", ("{",),
+            ident_ok=lambda ch: ch.isalnum() or ch in "-_")
+            if t.kind != EOF]
+        assert toks == [(IDENT, "pub-type")]

@@ -1,0 +1,153 @@
+"""The GAV mediator: warehousing, virtual views, staleness, access patterns."""
+
+import pytest
+
+from repro.errors import AccessPatternError, MediatorError
+from repro.graph import Atom, Graph, Oid
+from repro.mediator import DataSource, LimitedAccessSource, Mediator
+from repro.repository import Repository
+
+
+def _make_source(name: str, rows: list[tuple[str, int]]):
+    """A source of Items(x) with a value attribute; mutable via list."""
+
+    def load() -> Graph:
+        graph = Graph(name)
+        for key, value in rows:
+            oid = Oid(f"{name}_{key}")
+            graph.add_to_collection("Items", oid)
+            graph.add_edge(oid, "key", Atom.string(key))
+            graph.add_edge(oid, "value", Atom.int(value))
+        return graph
+
+    return DataSource(name, load)
+
+
+MAPPING = """
+input {src}
+where Items(i), i -> l -> v
+create Obj(i)
+link Obj(i) -> l -> v
+collect All(Obj(i))
+output data
+"""
+
+
+@pytest.fixture
+def mediator():
+    med = Mediator("data")
+    med.add_source(_make_source("alpha", [("a", 1), ("b", 2)]))
+    med.add_source(_make_source("beta", [("c", 3)]))
+    med.add_mapping(MAPPING.format(src="alpha"))
+    med.add_mapping(MAPPING.format(src="beta"))
+    return med
+
+
+class TestMediator:
+    def test_warehouse_integrates_all_sources(self, mediator):
+        data = mediator.warehouse()
+        assert len(data.collection("All")) == 3
+        assert data.name == "data"
+
+    def test_warehouse_cached(self, mediator):
+        assert mediator.warehouse() is mediator.warehouse()
+        assert mediator.stats["warehouse_builds"] == 1
+
+    def test_virtual_always_fresh(self, mediator):
+        one = mediator.virtual_view()
+        two = mediator.virtual_view()
+        assert one is not two
+        assert mediator.stats["virtual_builds"] == 2
+
+    def test_staleness_counts_source_updates(self, mediator):
+        mediator.warehouse()
+        assert mediator.staleness() == 0
+        mediator.source("alpha").touch()
+        mediator.source("alpha").touch()
+        mediator.source("beta").touch()
+        assert mediator.staleness() == 3
+        mediator.refresh()
+        assert mediator.staleness() == 0
+
+    def test_refresh_rebuilds(self, mediator):
+        mediator.warehouse()
+        before = mediator.stats["warehouse_builds"]
+        mediator.refresh()
+        assert mediator.stats["warehouse_builds"] == before + 1
+
+    def test_store_warehouse(self, mediator):
+        repo = Repository()
+        mediator.store_warehouse(repo)
+        assert repo.has_graph("data")
+
+    def test_mapping_validation(self, mediator):
+        with pytest.raises(MediatorError):
+            mediator.add_mapping(MAPPING.format(src="unknown"))
+        with pytest.raises(MediatorError):
+            mediator.add_mapping("""
+            input alpha
+            where Items(i)
+            create X(i)
+            collect Y(X(i))
+            output wrong_name
+            """)
+
+    def test_no_mappings_is_an_error(self):
+        med = Mediator()
+        med.add_source(_make_source("s", []))
+        with pytest.raises(MediatorError):
+            med.warehouse()
+
+    def test_unknown_source(self, mediator):
+        with pytest.raises(MediatorError):
+            mediator.source("nope")
+
+    def test_gav_object_fusion(self):
+        """Two sources minting Obj with the same key unify objects."""
+        med = Mediator("data")
+        med.add_source(_make_source("alpha", [("shared", 1)]))
+        med.add_source(_make_source("beta", [("other", 2)]))
+        fusion = """
+        input {src}
+        where Items(i), i -> "key" -> k, i -> "value" -> v
+        create Obj(k)
+        link Obj(k) -> "value" -> v, Obj(k) -> "from" -> "{src}"
+        collect All(Obj(k))
+        output data
+        """
+        med.add_mapping(fusion.format(src="alpha"))
+        med.add_mapping(fusion.format(src="beta"))
+        data = med.warehouse()
+        # Keys differ here, so two objects...
+        assert len(data.collection("All")) == 2
+        # ...but the same key from both sources would fuse:
+        med2 = Mediator("data")
+        med2.add_source(_make_source("alpha", [("k1", 1)]))
+        med2.add_source(_make_source("beta", [("k1", 9)]))
+        med2.add_mapping(fusion.format(src="alpha"))
+        med2.add_mapping(fusion.format(src="beta"))
+        fused = med2.warehouse()
+        assert len(fused.collection("All")) == 1
+        obj = fused.collection("All")[0]
+        froms = {str(v) for v in fused.get(obj, "from")}
+        assert froms == {"alpha", "beta"}
+
+
+class TestSources:
+    def test_load_counts(self):
+        source = _make_source("s", [("a", 1)])
+        source.load()
+        source.load()
+        assert source.load_count == 2
+
+    def test_nameless_rejected(self):
+        with pytest.raises(MediatorError):
+            DataSource("", lambda: Graph("x"))
+
+    def test_limited_access_requires_inputs(self):
+        source = LimitedAccessSource(
+            "lookup", lambda key: Graph("lookup"), required=("key",))
+        with pytest.raises(AccessPatternError):
+            source.load()
+        graph = source.load(key="x")
+        assert graph.name == "lookup"

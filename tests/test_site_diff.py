@@ -1,0 +1,127 @@
+"""Incremental site updates: graph diff and selective regeneration."""
+
+import os
+
+import pytest
+
+from repro.graph import Atom, Graph, Oid
+from repro.site import diff_graphs, refresh_site
+from repro.sites.homepage import FIG3_QUERY, fig7_templates
+from repro.struql import QueryEngine
+from repro.templates import HtmlGenerator
+
+
+@pytest.fixture
+def built(fig2_graph, tmp_path):
+    site = QueryEngine().evaluate(FIG3_QUERY, fig2_graph).output
+    generator = HtmlGenerator(site, fig7_templates())
+    generator.generate_site(str(tmp_path))
+    return fig2_graph, site, tmp_path
+
+
+class TestDiff:
+    def test_identical_graphs_empty_diff(self, fig4_site):
+        diff = diff_graphs(fig4_site, fig4_site.copy())
+        assert diff.empty
+        assert "+0/-0" in diff.summary()
+
+    def test_added_and_removed_nodes(self, tiny_graph):
+        new = tiny_graph.copy()
+        new.add_edge(Oid("extra"), "l", Atom.int(1))
+        diff = diff_graphs(tiny_graph, new)
+        assert diff.added_nodes == {Oid("extra")}
+        assert not diff.removed_nodes
+        reverse = diff_graphs(new, tiny_graph)
+        assert reverse.removed_nodes == {Oid("extra")}
+
+    def test_edge_deltas(self, tiny_graph):
+        new = tiny_graph.copy()
+        new.add_edge(Oid("root"), "sec", Oid("a"))  # duplicate: no-op
+        new.add_edge(Oid("b"), "alt", Oid("root"))
+        diff = diff_graphs(tiny_graph, new)
+        assert len(diff.added_edges) == 1
+        assert next(iter(diff.added_edges)).label == "alt"
+
+    def test_collection_changes(self, tiny_graph):
+        new = tiny_graph.copy()
+        new.add_to_collection("Root", Oid("a"))
+        diff = diff_graphs(tiny_graph, new)
+        added, removed = diff.collection_changes["Root"]
+        assert added == {Oid("a")} and removed == set()
+
+    def test_touched_sources(self, tiny_graph):
+        new = tiny_graph.copy()
+        new.add_edge(Oid("a"), "txt", Atom.string("more"))
+        diff = diff_graphs(tiny_graph, new)
+        assert diff.touched_sources() == {Oid("a")}
+
+
+class TestDirtyPages:
+    def test_dirty_closes_backwards_over_embedding(self, fig2_graph,
+                                                   fig4_site):
+        """Adding an attribute to a presentation dirties the pages that
+        embed it (year/category/abstracts), not unrelated pages."""
+        new_site = fig4_site.copy()
+        pres = Oid.skolem("PaperPresentation", (Oid("pub1"),))
+        new_site.add_edge(pres, "note", Atom.string("updated"))
+        diff = diff_graphs(fig4_site, new_site)
+        generator = HtmlGenerator(new_site, fig7_templates())
+        dirty = diff.dirty_pages(new_site, generator)
+        names = {n.skolem_fn for n in dirty}
+        assert "YearPage" in names          # embeds the presentation
+        assert "RootPage" in names          # links to the year page
+        year98 = Oid.skolem("YearPage", (Atom.int(1998),))
+        assert year98 not in dirty          # pub2's year unaffected
+
+
+class TestRefreshSite:
+    def test_no_change_rewrites_nothing(self, built):
+        data, old_site, out = built
+        result = refresh_site(FIG3_QUERY, data, old_site,
+                              fig7_templates(), str(out))
+        assert result.diff.empty
+        assert result.pages_rewritten == 0
+        assert result.removed_files == []
+
+    def test_new_publication_touches_proportional_pages(self, built):
+        data, old_site, out = built
+        before = len(os.listdir(out))
+        pub3 = Oid("pub3")
+        data.add_to_collection("Publications", pub3)
+        data.add_edge(pub3, "title", Atom.string("Third"))
+        data.add_edge(pub3, "year", Atom.int(1999))
+        data.add_edge(pub3, "abstract", Atom.file("a/3.txt"))
+        result = refresh_site(FIG3_QUERY, data, old_site,
+                              fig7_templates(), str(out))
+        assert not result.diff.empty
+        # New year page + new abstract page + updated root/abstracts.
+        written_fns = {p.skolem_fn for p in result.regenerated}
+        assert "YearPage" in written_fns
+        assert "RootPage" in written_fns
+        # The untouched 1997/1998 year pages were NOT rewritten...
+        year97 = Oid.skolem("YearPage", (Atom.int(1997),))
+        assert year97 not in result.regenerated
+        # ...and the new files exist on disk.
+        assert len(os.listdir(out)) == before + 2  # year1999 + abstract
+
+    def test_removed_publication_deletes_files(self, built, fig2_graph):
+        data, old_site, out = built
+        # Rebuild data without pub2 (remove by filtering into new graph).
+        smaller = data.subgraph(lambda oid: oid.name != "pub2",
+                                name="BIBTEX")
+        result = refresh_site(FIG3_QUERY, smaller, old_site,
+                              fig7_templates(), str(out))
+        assert result.removed_files  # 1998 year page, pub2 pages...
+        for path in result.removed_files:
+            assert not os.path.exists(path)
+
+    def test_rewritten_content_is_correct(self, built):
+        data, old_site, out = built
+        pub1 = Oid("pub1")
+        data.add_edge(pub1, "category", Atom.string("New Topic"))
+        result = refresh_site(FIG3_QUERY, data, old_site,
+                              fig7_templates(), str(out))
+        root_path = os.path.join(
+            str(out), "RootPage__.html")
+        html = open(root_path).read()
+        assert "New Topic" in html

@@ -1,0 +1,152 @@
+"""Incremental / click-time evaluation [FER 98c]: dynamic pages must
+agree exactly with the materialized site graph."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.graph import Atom, Graph, Oid
+from repro.site import DynamicSite, LazySiteGraph
+from repro.struql import QueryEngine
+from repro.sites.homepage import FIG3_QUERY
+
+
+class TestDynamicSite:
+    @pytest.fixture
+    def dynamic(self, fig2_graph):
+        return DynamicSite(FIG3_QUERY, fig2_graph)
+
+    def test_roots_are_precomputable(self, dynamic):
+        roots = {str(r) for r in dynamic.roots()}
+        assert roots == {"RootPage()", "AbstractsPage()"}
+
+    def test_root_page_links(self, dynamic):
+        view = dynamic.get_page(Oid.skolem("RootPage", ()))
+        labels = {label for label, _ in view.edges}
+        assert labels == {"AbstractsPage", "YearPage", "CategoryPage"}
+
+    def test_parameterized_page(self, dynamic):
+        year = Oid.skolem("YearPage", (Atom.int(1997),))
+        view = dynamic.get_page(year)
+        assert ("Year", Atom.int(1997)) in view.edges
+        papers = [t for label, t in view.edges if label == "Paper"]
+        assert papers == [Oid.skolem("PaperPresentation", (Oid("pub1"),))]
+
+    def test_agrees_with_materialized(self, fig2_graph, fig4_site,
+                                      dynamic):
+        """Every materialized page's out-edges match the dynamic view."""
+        for node in fig4_site.nodes():
+            if node.skolem_fn is None:
+                continue
+            view = dynamic.get_page(node)
+            materialized = {(e.label, e.target)
+                            for e in fig4_site.out_edges(node)}
+            assert set(view.edges) == materialized, str(node)
+
+    def test_cache_hits_counted(self, fig2_graph):
+        site = DynamicSite(FIG3_QUERY, fig2_graph, cache=True)
+        page = Oid.skolem("RootPage", ())
+        site.get_page(page)
+        before = site.stats["cache_hits"]
+        site.get_page(page)
+        assert site.stats["cache_hits"] == before + 1
+
+    def test_cache_disabled(self, fig2_graph):
+        site = DynamicSite(FIG3_QUERY, fig2_graph, cache=False)
+        page = Oid.skolem("RootPage", ())
+        site.get_page(page)
+        site.get_page(page)
+        assert site.stats["cache_hits"] == 0
+        assert site.stats["pages_computed"] == 2
+
+    def test_invalidate_sees_new_data(self, fig2_graph, dynamic):
+        root = Oid.skolem("RootPage", ())
+        before = dynamic.get_page(root)
+        years_before = sum(1 for label, _ in before.edges
+                           if label == "YearPage")
+        pub3 = Oid("pub3")
+        fig2_graph.add_to_collection("Publications", pub3)
+        fig2_graph.add_edge(pub3, "year", Atom.int(1999))
+        fig2_graph.add_edge(pub3, "title", Atom.string("New"))
+        stale = dynamic.get_page(root)
+        assert sum(1 for label, _ in stale.edges
+                   if label == "YearPage") == years_before
+        dynamic.invalidate()
+        fresh = dynamic.get_page(root)
+        assert sum(1 for label, _ in fresh.edges
+                   if label == "YearPage") == years_before + 1
+
+    def test_unknown_page(self, dynamic):
+        with pytest.raises(PageNotFoundError):
+            dynamic.get_page(Oid("not-a-skolem-page"))
+
+    def test_collections_computed(self, fig2_graph):
+        site = DynamicSite("""
+            input BIBTEX
+            where Publications(x)
+            create P(x)
+            link P(x) -> "of" -> x
+            collect Pages(P(x))
+            output O
+        """, fig2_graph)
+        view = site.get_page(Oid.skolem("P", (Oid("pub1"),)))
+        assert view.collections == ["Pages"]
+
+
+class TestLazySiteGraph:
+    def test_pages_materialize_on_demand(self, fig2_graph):
+        lazy = LazySiteGraph(DynamicSite(FIG3_QUERY, fig2_graph))
+        assert lazy.materialized_count == 0
+        root = Oid.skolem("RootPage", ())
+        years = [t for t in lazy.get(root, "YearPage")]
+        assert len(years) == 2
+        assert lazy.materialized_count == 1  # only the root so far
+
+    def test_matches_materialized_site(self, fig2_graph, fig4_site):
+        lazy = LazySiteGraph(DynamicSite(FIG3_QUERY, fig2_graph))
+        for node in fig4_site.nodes():
+            if node.skolem_fn is None:
+                continue
+            expected = {(e.label, e.target)
+                        for e in fig4_site.out_edges(node)}
+            actual = {(e.label, e.target) for e in lazy.out_edges(node)}
+            assert actual == expected
+
+    def test_non_skolem_nodes_pass_through(self, fig2_graph):
+        lazy = LazySiteGraph(DynamicSite(FIG3_QUERY, fig2_graph))
+        assert lazy.out_edges(Oid("pub1")) == []
+
+
+class TestDynamicAggregates:
+    def test_click_time_aggregation(self, fig2_graph):
+        """Aggregates work in per-page click-time queries too."""
+        site = DynamicSite("""
+            input BIBTEX
+            create Stats()
+            { where Publications(x), x -> "author" -> a,
+                    count(a) per x as n
+              create Card(x)
+              link Card(x) -> "authors" -> n,
+                   Stats() -> "Card" -> Card(x) }
+            output O
+        """, fig2_graph)
+        card = Oid.skolem("Card", (Oid("pub1"),))
+        view = site.get_page(card)
+        assert ("authors", Atom.int(2)) in view.edges
+
+    def test_global_aggregate_agrees_with_materialized(self, fig2_graph):
+        """A page using a *global* aggregate must see the full-relation
+        value, not one restricted to its own Skolem arguments."""
+        query = """
+            input BIBTEX
+            { where Publications(x), count(x) as total
+              create Card(x)
+              link Card(x) -> "of" -> total }
+            output O
+        """
+        materialized = QueryEngine().evaluate(query, fig2_graph).output
+        dynamic = DynamicSite(query, fig2_graph)
+        card = Oid.skolem("Card", (Oid("pub1"),))
+        expected = {(e.label, e.target)
+                    for e in materialized.out_edges(card)}
+        assert set(dynamic.get_page(card).edges) == expected
+        assert ("of", Atom.int(2)) in expected  # 2 pubs in Fig 2

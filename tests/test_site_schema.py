@@ -1,0 +1,124 @@
+"""Site schemas (Fig 5): construction, rendering, query recovery."""
+
+import pytest
+
+from repro.site import NS, build_site_schema
+from repro.struql import parse_query
+
+
+class TestFig5:
+    """The schema of the Fig 3 query matches Fig 5 exactly."""
+
+    @pytest.fixture
+    def schema(self, fig3_query):
+        return build_site_schema(fig3_query)
+
+    def test_nodes_are_skolem_functions(self, schema):
+        expected = {"RootPage", "AbstractsPage", "PaperPresentation",
+                    "AbstractPage", "YearPage", "CategoryPage", NS}
+        assert set(schema.nodes) == expected
+
+    def test_fig5_edges_present(self, schema):
+        assert schema.has_edge("RootPage", "AbstractsPage",
+                               "AbstractsPage")
+        assert schema.has_edge("RootPage", "YearPage", "YearPage")
+        assert schema.has_edge("RootPage", "CategoryPage", "CategoryPage")
+        assert schema.has_edge("YearPage", "Paper", "PaperPresentation")
+        assert schema.has_edge("CategoryPage", "Paper",
+                               "PaperPresentation")
+        assert schema.has_edge("AbstractsPage", "Abstract",
+                               "AbstractPage")
+        assert schema.has_edge("PaperPresentation", "Abstract",
+                               "AbstractPage")
+
+    def test_edge_labels_match_fig5_notation(self, schema):
+        edge = next(e for e in schema.edges
+                    if e.source == "YearPage" and e.label == "Paper")
+        assert edge.render() == '(Q1 ^ Q2, "Paper", [v], [x])'
+        root_year = next(e for e in schema.edges
+                         if e.source == "RootPage"
+                         and e.target == "YearPage")
+        assert root_year.render() == '(Q1 ^ Q2, "YearPage", [], [v])'
+        top = next(e for e in schema.edges
+                   if e.target == "AbstractsPage")
+        assert top.query_label == "true"
+
+    def test_ns_edges_for_data_targets(self, schema):
+        ns_edges = [e for e in schema.in_edges(NS)]
+        # AbstractPage -> l -> v, PaperPresentation -> l -> v,
+        # YearPage -> "Year" -> v, CategoryPage -> "Name" -> v.
+        assert {e.source for e in ns_edges} == {
+            "AbstractPage", "PaperPresentation", "YearPage",
+            "CategoryPage"}
+
+    def test_arc_variable_edges_flagged(self, schema):
+        arc = next(e for e in schema.edges
+                   if e.source == "AbstractPage" and e.target == NS)
+        assert arc.label_is_var and arc.label == "l"
+
+    def test_roots(self, schema):
+        assert schema.roots() == ["RootPage"]
+
+    def test_render_excludes_ns_by_default(self, schema):
+        text = schema.render()
+        assert NS not in text
+        assert NS in schema.render(include_ns=True)
+        assert '(Q1 ^ Q2, "Paper", [v], [x])' in text
+
+    def test_reachability(self, schema):
+        reachable = schema.reachable_from("RootPage")
+        assert "AbstractPage" in reachable
+        assert schema.reachable_from("AbstractPage") == {"AbstractPage",
+                                                         NS}
+
+    def test_to_dot(self, schema):
+        dot = schema.to_dot()
+        assert dot.startswith("digraph") and "YearPage" in dot
+
+
+class TestQueryRecovery:
+    def test_recovered_query_is_equivalent(self, fig2_graph, fig3_query):
+        """The schema is equivalent to the query: the recovered text
+        evaluates to the same site graph."""
+        from repro.struql import QueryEngine
+        schema = build_site_schema(fig3_query)
+        recovered = parse_query(schema.recover_query())
+        engine = QueryEngine()
+        original = engine.evaluate(fig3_query, fig2_graph).output
+        again = engine.evaluate(recovered, fig2_graph).output
+        assert set(original.edges()) == set(again.edges())
+        assert original.node_count == again.node_count
+
+    def test_recovery_without_query_fails(self):
+        from repro.site import SiteSchema
+        with pytest.raises(ValueError):
+            SiteSchema().recover_query()
+
+
+class TestOtherShapes:
+    def test_query_without_links(self):
+        schema = build_site_schema(
+            "input G where A(x) create F(x) collect C(F(x)) output O")
+        assert schema.nodes == ["F"]
+        assert schema.edges == []
+
+    def test_constant_target(self):
+        schema = build_site_schema("""
+            input G
+            where A(x)
+            create F(x)
+            link F(x) -> "kind" -> "fixed"
+            output O
+        """)
+        edge = schema.edges[0]
+        assert edge.target == NS
+        assert edge.render() == '(Q1, "kind", [x], ["fixed"])'
+
+    def test_disconnected_schema_has_multiple_roots(self):
+        schema = build_site_schema("""
+            input G
+            { where A(x) create F(x) link F(x) -> "a" -> x }
+            { where B(y) create G2(y) link G2(y) -> "b" -> y }
+            output O
+        """)
+        assert set(schema.roots()) == {"F", "G2"}

@@ -1,0 +1,93 @@
+"""The dynamic page server: click-time rendering, crawling, caching."""
+
+import pytest
+
+from repro.graph import Atom, Oid
+from repro.site import DynamicSiteServer
+from repro.sites.homepage import FIG3_QUERY, fig7_templates
+
+
+@pytest.fixture
+def server(fig2_graph):
+    return DynamicSiteServer(FIG3_QUERY, fig2_graph, fig7_templates())
+
+
+class TestRequests:
+    def test_root_served(self, server):
+        root = server.roots()[0]
+        response = server.request(root)
+        assert response.status == 200
+        assert "Publications" in response.body
+
+    def test_request_by_path(self, server):
+        response = server.request("RootPage__.html")
+        assert response.status == 200
+
+    def test_year_page_contains_presentation(self, server):
+        response = server.request(
+            Oid.skolem("YearPage", (Atom.int(1997),)))
+        assert response.status == 200
+        assert "Specifying Representations" in response.body
+
+    def test_unknown_page_404(self, server):
+        response = server.request("nope.html")
+        assert response.status == 404
+        assert server.log.errors == 1
+
+    def test_latencies_recorded(self, server):
+        server.request(server.roots()[0])
+        server.request(server.roots()[0])
+        assert server.log.requests == 2
+        assert len(server.log.latencies) == 2
+        assert server.log.mean_latency > 0
+
+    def test_rendered_equals_materialized(self, server, fig4_site,
+                                          fig2_graph):
+        """Click-time HTML equals build-time HTML for every page."""
+        from repro.templates import HtmlGenerator
+        static = HtmlGenerator(fig4_site, fig7_templates())
+        for page in static.pages():
+            dynamic_body = server.request(page).body
+            assert dynamic_body == static.render(page), str(page)
+
+
+class TestCrawl:
+    def test_crawl_visits_reachable_pages(self, server):
+        responses = server.crawl()
+        assert all(r.status == 200 for r in responses)
+        # 9 pages: root, abstracts, 2 years, 3 categories, 2 abstracts.
+        assert len(responses) == 9
+
+    def test_crawl_limit(self, server):
+        responses = server.crawl(limit=3)
+        assert len(responses) == 3
+
+    def test_crawl_from_specific_page(self, server):
+        year = Oid.skolem("YearPage", (Atom.int(1997),))
+        responses = server.crawl(start=year)
+        urls = {r.oid for r in responses}
+        assert year in urls
+
+    def test_empty_roots(self, fig2_graph):
+        server = DynamicSiteServer("""
+            input BIBTEX
+            where Publications(x)
+            create P(x)
+            link P(x) -> "of" -> x
+            output O
+        """, fig2_graph, fig7_templates())
+        assert server.crawl() == []
+
+
+class TestStaleness:
+    def test_invalidate_refreshes(self, server, fig2_graph):
+        before = server.request(server.roots()[0]).body
+        pub3 = Oid("pub3")
+        fig2_graph.add_to_collection("Publications", pub3)
+        fig2_graph.add_edge(pub3, "year", Atom.int(2001))
+        fig2_graph.add_edge(pub3, "title", Atom.string("Late Addition"))
+        stale = server.request(server.roots()[0]).body
+        assert stale == before  # cache serves the stale page
+        server.invalidate()
+        fresh = server.request(server.roots()[0]).body
+        assert "2001" in fresh

@@ -1,0 +1,238 @@
+"""Integrity-constraint verification [FER 98b]."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.graph import Atom, Graph, Oid
+from repro.site import (
+    Connected,
+    ForbiddenContent,
+    ForbiddenLink,
+    ReachableFromRoot,
+    RequiredLink,
+    Verifier,
+    build_site_schema,
+)
+from repro.struql import QueryEngine
+
+
+GOOD_QUERY = """
+input G
+create Root()
+{ where Items(x)
+  create Page(x)
+  link Root() -> "item" -> Page(x),
+       Page(x) -> "home" -> Root()
+}
+output Site
+"""
+
+ORPHAN_QUERY = """
+input G
+create Root()
+{ where Items(x)
+  create Page(x), Orphan(x)
+  link Root() -> "item" -> Page(x),
+       Orphan(x) -> "data" -> x
+}
+output Site
+"""
+
+
+@pytest.fixture
+def items_graph() -> Graph:
+    graph = Graph("G")
+    for name in ("a", "b"):
+        oid = Oid(name)
+        graph.add_to_collection("Items", oid)
+        graph.add_edge(oid, "secret", Atom.string(f"classified-{name}"))
+    return graph
+
+
+def build(query: str, graph: Graph) -> Graph:
+    return QueryEngine().evaluate(query, graph).output
+
+
+class TestReachable:
+    def test_good_site_passes_both_levels(self, items_graph):
+        site = build(GOOD_QUERY, items_graph)
+        schema = build_site_schema(GOOD_QUERY)
+        report = Verifier([ReachableFromRoot("Root")]).verify(
+            graph=site, schema=schema)
+        assert report.ok
+        assert len(report.findings) == 2  # schema + graph
+
+    def test_orphan_caught_at_both_levels(self, items_graph):
+        site = build(ORPHAN_QUERY, items_graph)
+        schema = build_site_schema(ORPHAN_QUERY)
+        report = Verifier([ReachableFromRoot("Root")]).verify(
+            graph=site, schema=schema)
+        assert not report.ok
+        levels = {f.level for f in report.violations()}
+        assert levels == {"schema", "graph"}
+        assert any("Orphan" in w for f in report.violations()
+                   for w in f.witnesses)
+
+    def test_static_check_needs_no_data(self):
+        """The schema-level check works before any site is built."""
+        schema = build_site_schema(ORPHAN_QUERY)
+        report = Verifier([ReachableFromRoot("Root")]).verify(
+            schema=schema)
+        assert not report.ok
+
+    def test_missing_root_fn(self, items_graph):
+        site = build(GOOD_QUERY, items_graph)
+        report = Verifier([ReachableFromRoot("Nonexistent")]).verify(
+            graph=site)
+        assert not report.ok
+
+    def test_verify_or_raise(self, items_graph):
+        site = build(ORPHAN_QUERY, items_graph)
+        with pytest.raises(ConstraintViolation):
+            Verifier([ReachableFromRoot("Root")]).verify_or_raise(
+                graph=site)
+
+
+class TestRequiredLink:
+    def test_present(self, items_graph):
+        site = build(GOOD_QUERY, items_graph)
+        schema = build_site_schema(GOOD_QUERY)
+        report = Verifier([
+            RequiredLink("Page", "home", "Root")]).verify(
+            graph=site, schema=schema)
+        assert report.ok
+
+    def test_absent_schema_level(self):
+        schema = build_site_schema(ORPHAN_QUERY)
+        report = Verifier([RequiredLink("Page", "home", "Root")]).verify(
+            schema=schema)
+        assert not report.ok
+
+    def test_graph_level_witnesses(self, items_graph):
+        site = build(ORPHAN_QUERY, items_graph)
+        report = Verifier([RequiredLink("Page", "home")]).verify(
+            graph=site)
+        assert not report.ok
+        assert len(report.violations()[0].witnesses) == 2
+
+    def test_arc_variable_defers_to_graph(self, items_graph):
+        query = """
+        input G
+        where Items(x), x -> l -> v
+        create Page(x)
+        link Page(x) -> l -> v
+        output Site
+        """
+        schema = build_site_schema(query)
+        report = Verifier([RequiredLink("Page", "secret")]).verify(
+            schema=schema)
+        assert report.ok  # possible via arc variable
+        assert "arc-variable" in report.findings[0].witnesses[0]
+
+
+class TestForbidden:
+    def test_forbidden_link_schema(self, items_graph):
+        schema = build_site_schema(GOOD_QUERY)
+        report = Verifier([ForbiddenLink("Page", "home")]).verify(
+            schema=schema)
+        assert not report.ok
+
+    def test_forbidden_link_ok(self):
+        schema = build_site_schema(GOOD_QUERY)
+        report = Verifier([ForbiddenLink("Page", "secret")]).verify(
+            schema=schema)
+        assert report.ok
+
+    def test_forbidden_content(self, items_graph):
+        """The external-site constraint: no proprietary atoms served."""
+        leaky = """
+        input G
+        where Items(x), x -> l -> v
+        create Page(x)
+        link Page(x) -> l -> v
+        output Site
+        """
+        site = build(leaky, items_graph)
+        constraint = ForbiddenContent(
+            "classified", lambda atom: str(atom).startswith("classified"))
+        report = Verifier([constraint]).verify(graph=site)
+        assert not report.ok
+        assert len(report.violations()[0].witnesses) == 2
+
+    def test_forbidden_content_clean_site(self, items_graph):
+        site = build(GOOD_QUERY, items_graph)
+        constraint = ForbiddenContent(
+            "classified", lambda atom: str(atom).startswith("classified"))
+        assert Verifier([constraint]).verify(graph=site).ok
+
+
+class TestConnected:
+    def test_connected_site(self, items_graph):
+        site = build(GOOD_QUERY, items_graph)
+        assert Verifier([Connected()]).verify(graph=site).ok
+
+    def test_disconnected_site(self, items_graph):
+        site = build(ORPHAN_QUERY, items_graph)
+        report = Verifier([Connected()]).verify(graph=site)
+        # Orphan(x) -> data -> x forms components separate from Root.
+        assert not report.ok
+
+    def test_report_rendering(self, items_graph):
+        site = build(ORPHAN_QUERY, items_graph)
+        report = Verifier([Connected(),
+                           ReachableFromRoot("Root")]).verify(graph=site)
+        text = str(report)
+        assert "VIOLATED" in text and "ok" not in text.split("\n")[0][:3]
+
+
+class TestPathReachability:
+    """Regular-path constraints: 'every department member is reachable
+    from a department page'."""
+
+    def test_satisfied(self, items_graph):
+        from repro.site import PathReachability
+        site = build(GOOD_QUERY, items_graph)
+        constraint = PathReachability("Root", '"item"', "Page")
+        report = Verifier([constraint]).verify(graph=site)
+        assert report.ok
+
+    def test_closure_expression(self, items_graph):
+        from repro.site import PathReachability
+        site = build(GOOD_QUERY, items_graph)
+        constraint = PathReachability("Root", "*", "Page")
+        assert Verifier([constraint]).verify(graph=site).ok
+
+    def test_violation_with_witnesses(self, items_graph):
+        from repro.site import PathReachability
+        site = build(ORPHAN_QUERY, items_graph)
+        constraint = PathReachability("Root", "*", "Orphan")
+        report = Verifier([constraint]).verify(graph=site)
+        assert not report.ok
+        assert "Orphan" in report.violations()[0].witnesses[0]
+
+    def test_wrong_label_detected(self, items_graph):
+        from repro.site import PathReachability
+        site = build(GOOD_QUERY, items_graph)
+        constraint = PathReachability("Root", '"wrong"', "Page")
+        assert not Verifier([constraint]).verify(graph=site).ok
+
+    def test_missing_source_pages_flagged(self, items_graph):
+        from repro.site import PathReachability
+        site = build(GOOD_QUERY, items_graph)
+        constraint = PathReachability("Nonexistent", "*", "Page")
+        report = Verifier([constraint]).verify(graph=site)
+        assert not report.ok
+        assert "no Nonexistent pages" in \
+            report.violations()[0].witnesses[0]
+
+    def test_arc_variable_rejected(self):
+        from repro.site import PathReachability
+        with pytest.raises(ValueError):
+            PathReachability("Root", "item", "Page")  # unquoted label
+
+    def test_alternation_path(self, items_graph):
+        from repro.site import PathReachability
+        site = build(GOOD_QUERY, items_graph)
+        constraint = PathReachability(
+            "Root", '"item" | "other"."item"', "Page")
+        assert Verifier([constraint]).verify(graph=site).ok

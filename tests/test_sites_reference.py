@@ -1,0 +1,278 @@
+"""The four reference sites reproduce the paper's section 5.1 claims."""
+
+import pytest
+
+from repro.graph import Oid
+from repro.site import ReachableFromRoot, RequiredLink, Verifier
+from repro.sites import (
+    CNN_QUERY,
+    SPORTS_QUERY,
+    build_cnn_site,
+    build_homepage_site,
+    build_org_site,
+    build_rodin_site,
+    org_templates,
+)
+from repro.datagen import build_org_mediator, generate_news_graph
+
+
+class TestHomepage:
+    def test_internal_external_share_everything_but_templates(self):
+        internal = build_homepage_site(entries=10)
+        external = build_homepage_site(data=internal.data, external=True)
+        # Same data, same query -> identical site graphs.
+        assert internal.site_graph.edge_count == \
+            external.site_graph.edge_count
+        # External presentation drops the PostScript download link.
+        internal_html = internal.generator().render(
+            next(n for n in internal.site_graph.nodes()
+                 if n.skolem_fn == "PaperPresentation"))
+        external_html = external.generator().render(
+            next(n for n in external.site_graph.nodes()
+                 if n.skolem_fn == "PaperPresentation"))
+        assert ".ps" in internal_html
+        assert ".ps" not in external_html
+
+    def test_generates_browsable_site(self, tmp_path):
+        site = build_homepage_site(entries=10)
+        written = site.generate(str(tmp_path))
+        assert len(written) == len(site.generator().pages())
+
+    def test_verifies_reachability(self):
+        site = build_homepage_site(entries=10)
+        report = site.verify([ReachableFromRoot("RootPage")],
+                             schema_level=False)
+        assert report.ok
+
+
+class TestCnn:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_news_graph(80, graph_name="CNN")
+
+    def test_general_site_covers_all_articles(self, data):
+        site = build_cnn_site(data=data.copy("CNN"))
+        pages = [n for n in site.site_graph.nodes()
+                 if n.skolem_fn == "ArticlePage"]
+        assert len(pages) == 80
+
+    def test_sports_only_is_a_subset(self, data):
+        general = build_cnn_site(data=data.copy("CNN"))
+        sports = build_cnn_site(data=data.copy("CNN"), sports_only=True)
+        general_articles = {n for n in general.site_graph.nodes()
+                            if n.skolem_fn == "ArticlePage"}
+        sports_articles = {n for n in sports.site_graph.nodes()
+                           if n.skolem_fn == "ArticlePage"}
+        assert sports_articles < general_articles
+        assert sports_articles  # the seed produces some sports articles
+        # Same structure: identical Skolem vocabulary.
+        assert set(f for f in sports.queries[0].skolem_functions()) == \
+            set(f for f in general.queries[0].skolem_functions())
+
+    def test_sports_query_differs_only_in_predicates(self):
+        """The paper: 'only differs in two extra predicates in one
+        where clause' (we add the pair to the Related clause too)."""
+        assert SPORTS_QUERY != CNN_QUERY
+        assert SPORTS_QUERY.count('sec = "sports"') == 1
+        general_lines = [l.strip() for l in CNN_QUERY.splitlines()]
+        sports_lines = [l.strip() for l in SPORTS_QUERY.splitlines()]
+        differing = [
+            (g, s) for g, s in zip(general_lines, sports_lines) if g != s]
+        # Exactly two where clauses touched, plus the output rename.
+        assert len(differing) == 3
+        where_changes = [d for d in differing if d[0].startswith("{ WHERE")]
+        assert len(where_changes) == 2
+        assert differing[-1] == ("OUTPUT CNNSite", "OUTPUT SportsSite")
+
+    def test_same_templates_for_both(self, data):
+        general = build_cnn_site(data=data.copy("CNN"))
+        sports = build_cnn_site(data=data.copy("CNN"), sports_only=True)
+        assert general.templates.names() == sports.templates.names()
+
+    def test_sections_pages_linked_from_front(self, data):
+        site = build_cnn_site(data=data.copy("CNN"))
+        front = Oid.skolem("FrontPage", ())
+        sections = site.site_graph.get(front, "Section")
+        assert sections
+        report = site.verify(
+            [RequiredLink("SectionPage", "Story", "Summary")],
+            schema_level=False)
+        assert report.ok
+
+
+class TestOrg:
+    @pytest.fixture(scope="class")
+    def mediated(self):
+        return build_org_mediator(people=50, projects=8,
+                                  publications=12).warehouse()
+
+    def test_person_pages_scale_with_people(self, mediated):
+        site = build_org_site(data=mediated.copy("ORGDATA"))
+        people = [n for n in site.site_graph.nodes()
+                  if n.skolem_fn == "PersonPage"]
+        assert len(people) == 50
+
+    def test_internal_has_17_templates(self, mediated):
+        site = build_org_site(data=mediated.copy("ORGDATA"))
+        assert len(site.templates.names()) == 17
+
+    def test_external_differs_in_exactly_five_templates(self):
+        internal = org_templates()
+        external = org_templates(external=True)
+        assert internal.names() == external.names()
+        differing = [
+            name for name in internal.names()
+            if internal.get(name).source != external.get(name).source]
+        assert len(differing) == 5
+
+    def test_external_needs_no_new_queries(self, mediated):
+        internal = build_org_site(data=mediated.copy("ORGDATA"))
+        external = build_org_site(data=mediated.copy("ORGDATA"),
+                                  external=True)
+        assert [q.text for q in internal.queries] == \
+            [q.text for q in external.queries]
+
+    def test_external_hides_salaries(self, mediated):
+        internal = build_org_site(data=mediated.copy("ORGDATA"))
+        external = build_org_site(data=mediated.copy("ORGDATA"),
+                                  external=True)
+        person = next(n for n in internal.site_graph.nodes()
+                      if n.skolem_fn == "PersonPage")
+        assert "Salary" in internal.generator().render(person)
+        assert "Salary" not in external.generator().render(person)
+
+    def test_org_hierarchy_linked(self, mediated):
+        site = build_org_site(data=mediated.copy("ORGDATA"))
+        suborg_edges = [e for e in site.site_graph.edges()
+                        if e.label == "SubOrg"]
+        assert suborg_edges  # parent orgs point at suborganizations
+
+    def test_projects_respect_missing_synopsis(self, mediated):
+        site = build_org_site(data=mediated.copy("ORGDATA"))
+        projects = [n for n in site.site_graph.nodes()
+                    if n.skolem_fn == "ProjectPage"]
+        rendered = [site.generator().render(p) for p in projects]
+        assert any("(no synopsis)" in html for html in rendered)
+        assert any("(no synopsis)" not in html for html in rendered)
+
+
+class TestRodin:
+    def test_both_views_generated(self):
+        site = build_rodin_site(projects=5)
+        e_pages = [n for n in site.site_graph.nodes()
+                   if n.skolem_fn == "EPage"]
+        f_pages = [n for n in site.site_graph.nodes()
+                   if n.skolem_fn == "FPage"]
+        assert len(e_pages) == len(f_pages) == 5
+
+    def test_cross_links_both_ways(self):
+        site = build_rodin_site(projects=4)
+        graph = site.site_graph
+        for e_page in (n for n in graph.nodes() if n.skolem_fn == "EPage"):
+            f_page = graph.get_one(e_page, "French")
+            assert f_page is not None and f_page.skolem_fn == "FPage"
+            assert graph.get_one(f_page, "English") == e_page
+
+    def test_one_query_defines_both(self):
+        site = build_rodin_site()
+        assert len(site.queries) == 1
+
+    def test_language_content_differs(self, tmp_path):
+        site = build_rodin_site(projects=3)
+        graph = site.site_graph
+        e_page = next(n for n in graph.nodes() if n.skolem_fn == "EPage")
+        f_page = graph.get_one(e_page, "French")
+        english = site.generator().render(e_page)
+        french = site.generator().render(f_page)
+        assert "Recherche" in french and "Research" in english
+
+
+class TestMffHomepage:
+    """The full two-source mff homepage of section 5.1."""
+
+    def test_two_sources_integrated(self):
+        from repro.sites import build_mff_site
+        site = build_mff_site(entries=12)
+        assert site.data.has_collection("Publications")
+        assert site.data.has_collection("People")
+
+    def test_metrics_near_paper(self):
+        from repro.sites import build_mff_site
+        site = build_mff_site(entries=12)
+        metrics = site.metrics()
+        assert metrics.template_count == 13          # paper: 13
+        assert 40 <= metrics.query_lines <= 55       # paper: 48
+
+    def test_external_excludes_patents_and_proprietary(self):
+        from repro.graph import Oid
+        from repro.sites import build_mff_site
+        internal = build_mff_site(entries=12)
+        external = build_mff_site(data=internal.data, external=True)
+        patents_page = next(n for n in internal.site_graph.nodes()
+                            if n.skolem_fn == "PatentsPage")
+        internal_patents = internal.generator().render(patents_page)
+        external_patents = external.generator().render(patents_page)
+        assert "US-5999999" in internal_patents
+        assert "US-5999999" not in external_patents
+        projects_page = next(n for n in internal.site_graph.nodes()
+                             if n.skolem_fn == "ProjectsPage")
+        internal_projects = internal.generator().render(projects_page)
+        external_projects = external.generator().render(projects_page)
+        assert "SECRETDB" in internal_projects
+        assert "SECRETDB" not in external_projects
+        assert "STRUDEL" in external_projects
+
+    def test_address_block_embedded(self):
+        from repro.sites import build_mff_site
+        site = build_mff_site(entries=12)
+        root = next(n for n in site.site_graph.nodes()
+                    if n.skolem_fn == "HomeRoot")
+        html = site.generator().render(root)
+        assert "180 Park Ave, Florham Park 07932" in html
+
+    def test_site_graph_shared_between_versions(self):
+        from repro.sites import build_mff_site
+        internal = build_mff_site(entries=12)
+        external = build_mff_site(data=internal.data, external=True)
+        assert internal.site_graph.edge_count == \
+            external.site_graph.edge_count
+
+
+class TestOrgExternalQueryView:
+    """The alternative multi-view mechanism: a derived external site
+    graph (the suciu-example pattern), not just different templates."""
+
+    def test_external_view_drops_salary_and_proprietary(self):
+        from repro.datagen import build_org_mediator
+        from repro.sites import ORG_EXTERNAL_QUERY, ORG_QUERY
+        from repro.struql.rewriter import compose
+        data = build_org_mediator(people=25, projects=10,
+                                  publications=5).warehouse()
+        data.name = "ORGDATA"
+        result = compose([ORG_QUERY, ORG_EXTERNAL_QUERY], data)
+        internal = None
+        external = result.output
+        labels = {e.label for e in external.edges()}
+        assert "salary" not in labels
+        assert "proprietary" not in labels
+        # Non-proprietary structure survives.
+        assert any(e.label == "Member" for e in external.edges())
+
+    def test_builder_supports_params(self):
+        from repro.struql.builder import (QueryBuilder, var, skolem,
+                                          member, edge)
+        from repro.struql import QueryEngine
+        from repro.graph import Atom, Graph
+        graph = Graph("G")
+        a = Oid("a")
+        graph.add_to_collection("C", a)
+        graph.add_edge(a, "year", Atom.int(1997))
+        x, y, wanted = var("x"), var("y"), var("wanted")
+        b = QueryBuilder("G", output="O", params=("wanted",))
+        with b.where(member("C", x), edge(x, "year", y)):
+            b.create(skolem("Hit", x, wanted))
+            b.collect("Hits", skolem("Hit", x, wanted))
+        query = b.build()
+        out = QueryEngine().evaluate(
+            query, graph, initial={"wanted": Atom.string("q")}).output
+        assert len(out.collection("Hits")) == 1

@@ -1,0 +1,231 @@
+"""The grouping/aggregation extension (section 5.2: "the query stage is
+independently extensible; for example, we could extend it to include
+grouping and aggregation")."""
+
+import pytest
+
+from repro.errors import StruQLError, StruQLSyntaxError
+from repro.graph import Atom, Graph, Oid
+from repro.struql import QueryEngine, parse_query
+from repro.struql.ast import AggregateCond, Var
+
+
+@pytest.fixture
+def pubs() -> Graph:
+    graph = Graph("G")
+    data = (("p1", ["ann", "bob", "cy"], 1997),
+            ("p2", ["ann"], 1997),
+            ("p3", ["dee", "eli"], 1998))
+    for name, authors, year in data:
+        oid = Oid(name)
+        graph.add_to_collection("Pubs", oid)
+        graph.add_edge(oid, "year", Atom.int(year))
+        for author in authors:
+            graph.add_edge(oid, "author", Atom.string(author))
+    return graph
+
+
+def run(text, graph, optimizer="cost"):
+    return QueryEngine(optimizer=optimizer).evaluate(text, graph).output
+
+
+class TestParsing:
+    def test_count_per_as(self):
+        query = parse_query("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n
+            create F(x)
+            link F(x) -> "n" -> n
+            output O
+        """)
+        agg = next(c for b in query.blocks() for c in b.conditions
+                   if isinstance(c, AggregateCond))
+        assert agg.fn == "count"
+        assert agg.var == Var("a")
+        assert agg.group == (Var("x"),)
+        assert agg.out == Var("n")
+        assert str(agg) == "count(a) per x as n"
+
+    def test_global_aggregate_no_per(self):
+        query = parse_query("""
+            input G
+            where Pubs(x), count(x) as total
+            create S()
+            link S() -> "t" -> total
+            output O
+        """)
+        agg = next(c for b in query.blocks() for c in b.conditions
+                   if isinstance(c, AggregateCond))
+        assert agg.group == ()
+
+    def test_multi_group(self):
+        query = parse_query("""
+            input G
+            where Pubs(x), x -> "year" -> y, x -> "author" -> a,
+                  count(a) per x, y as n
+            create F(x)
+            link F(x) -> "n" -> n
+            output O
+        """)
+        agg = next(c for b in query.blocks() for c in b.conditions
+                   if isinstance(c, AggregateCond))
+        assert agg.group == (Var("x"), Var("y"))
+
+    def test_unknown_aggregate_function(self):
+        with pytest.raises(StruQLSyntaxError):
+            parse_query("""
+                input G
+                where Pubs(x), median(x) as m
+                create F(m)
+                output O
+            """)
+
+    def test_predicate_named_count_still_works(self):
+        # Without `as`/`per`, count(...) is an ordinary predicate call.
+        query = parse_query("""
+            input G
+            where Pubs(x), count(x)
+            create F(x)
+            output O
+        """)
+        assert not any(isinstance(c, AggregateCond)
+                       for b in query.blocks() for c in b.conditions)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("optimizer", ["naive", "heuristic", "cost"])
+    def test_count_distinct_per_group(self, pubs, optimizer):
+        out = run("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n
+            create F(x)
+            link F(x) -> "n" -> n
+            collect All(F(x))
+            output O
+        """, pubs, optimizer)
+        counts = {str(f.skolem_args[0]): out.get_one(f, "n").value
+                  for f in out.collection("All")}
+        assert counts == {"p1": 3, "p2": 1, "p3": 2}
+
+    def test_filter_on_aggregate(self, pubs):
+        out = run("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n,
+                  n >= 2
+            create Multi(x)
+            collect Multis(Multi(x))
+            output O
+        """, pubs)
+        names = {str(m.skolem_args[0]) for m in out.collection("Multis")}
+        assert names == {"p1", "p3"}
+
+    def test_aggregate_runs_after_filters(self, pubs):
+        """A filter on the aggregated variable applies first, whatever
+        the textual order: the count is over the filtered rows."""
+        out = run("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n,
+                  a != "ann"
+            create F(x)
+            link F(x) -> "n" -> n
+            collect All(F(x))
+            output O
+        """, pubs)
+        counts = {str(f.skolem_args[0]): out.get_one(f, "n").value
+                  for f in out.collection("All")}
+        # p2's only author is ann: no rows survive, so no F(p2) at all.
+        assert counts == {"p1": 2, "p3": 2}
+
+    def test_count_distinct_not_rows(self):
+        """Join multiplicity must not inflate counts."""
+        graph = Graph("G")
+        p = Oid("p")
+        graph.add_to_collection("Pubs", p)
+        graph.add_edge(p, "author", Atom.string("ann"))
+        graph.add_edge(p, "tag", Atom.string("t1"))
+        graph.add_edge(p, "tag", Atom.string("t2"))
+        out = run("""
+            input G
+            where Pubs(x), x -> "author" -> a, x -> "tag" -> t,
+                  count(a) per x as n
+            create F(x)
+            link F(x) -> "n" -> n
+            output O
+        """, graph)
+        f = Oid.skolem("F", (p,))
+        assert out.get_one(f, "n") == Atom.int(1)  # not 2 (t multiplies)
+
+    def test_min_max_sum_avg(self, pubs):
+        out = run("""
+            input G
+            where Pubs(x), x -> "year" -> y,
+                  min(y) as lo, max(y) as hi, count(x) as n
+            create Stats()
+            link Stats() -> "lo" -> lo, Stats() -> "hi" -> hi,
+                 Stats() -> "n" -> n
+            output O
+        """, pubs)
+        stats = Oid.skolem("Stats", ())
+        assert out.get_one(stats, "lo") == Atom.int(1997)
+        assert out.get_one(stats, "hi") == Atom.int(1998)
+        assert out.get_one(stats, "n") == Atom.int(3)
+
+    def test_sum_and_avg_numeric(self):
+        graph = Graph("G")
+        for name, value in (("a", 10), ("b", 20), ("c", 30)):
+            oid = Oid(name)
+            graph.add_to_collection("C", oid)
+            graph.add_edge(oid, "v", Atom.int(value))
+        out = run("""
+            input G
+            where C(x), x -> "v" -> v, sum(v) as s, avg(v) as m
+            create R()
+            link R() -> "sum" -> s, R() -> "avg" -> m
+            output O
+        """, graph)
+        r = Oid.skolem("R", ())
+        assert out.get_one(r, "sum") == Atom.int(60)
+        assert out.get_one(r, "avg") == Atom.float(20.0)
+
+    def test_sum_over_non_numeric_fails(self, pubs):
+        with pytest.raises(StruQLError):
+            run("""
+                input G
+                where Pubs(x), x -> "author" -> a, sum(a) as s
+                create R()
+                link R() -> "s" -> s
+                output O
+            """, pubs)
+
+    def test_count_of_nodes(self, pubs):
+        out = run("""
+            input G
+            where Pubs(x), count(x) as total
+            create R()
+            link R() -> "total" -> total
+            output O
+        """, pubs)
+        assert out.get_one(Oid.skolem("R", ()), "total") == Atom.int(3)
+
+    def test_aggregate_output_usable_in_skolem(self, pubs):
+        out = run("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n
+            create Bucket(n)
+            link Bucket(n) -> "pub" -> x
+            collect Buckets(Bucket(n))
+            output O
+        """, pubs)
+        buckets = {str(b) for b in out.collection("Buckets")}
+        assert buckets == {"Bucket(1)", "Bucket(2)", "Bucket(3)"}
+
+
+class TestAnalysisIntegration:
+    def test_aggregate_output_is_positively_bound(self):
+        from repro.struql import is_range_restricted
+        assert is_range_restricted("""
+            input G
+            where Pubs(x), x -> "author" -> a, count(a) per x as n
+            create Bucket(n)
+            output O
+        """)

@@ -1,0 +1,132 @@
+"""Range-restriction analysis (the paper's open domain-independence
+problem, section 3)."""
+
+from repro.struql import analyze, is_range_restricted
+from repro.sites import CNN_QUERY, FIG3_QUERY, MFF_QUERY, ORG_QUERY, RODIN_QUERY
+
+
+class TestRestricted:
+    def test_fig3_is_range_restricted(self):
+        assert is_range_restricted(FIG3_QUERY)
+
+    def test_all_reference_sites_are_restricted(self):
+        for query in (CNN_QUERY, MFF_QUERY, ORG_QUERY, RODIN_QUERY):
+            assert is_range_restricted(query), analyze(query)
+
+    def test_collection_anchored_query(self):
+        assert is_range_restricted("""
+            input G
+            where C(x), x -> "a" -> y, y != 3
+            create F(x)
+            output O
+        """)
+
+    def test_binding_order_does_not_matter(self):
+        # The comparison comes first textually; the path binds w later.
+        assert is_range_restricted("""
+            input G
+            where w = 3, C(x), x -> "a" -> w
+            create F(x)
+            output O
+        """)
+
+    def test_in_condition_binds(self):
+        assert is_range_restricted("""
+            input G
+            where l in {"a", "b"}, x -> l -> v
+            create F(x)
+            output O
+        """)
+
+    def test_bound_negation_is_fine(self):
+        assert is_range_restricted("""
+            input G
+            where C(x), not(isPostScript(x))
+            create F(x)
+            output O
+        """)
+
+    def test_negated_path_with_bound_vars(self):
+        assert is_range_restricted("""
+            input G
+            where C(x), C(y), not(x -> "a" -> y)
+            create F(x, y)
+            output O
+        """)
+
+
+class TestUnrestricted:
+    def test_complement_query_flagged(self):
+        """The paper's own example of domain dependence."""
+        warnings = analyze("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """)
+        assert warnings
+        assert any("active domain" in w.reason for w in warnings)
+        assert not is_range_restricted("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """)
+
+    def test_negation_with_one_free_var(self):
+        warnings = analyze("""
+            input G
+            where C(x), not(x -> "a" -> y)
+            create F(x)
+            output O
+        """)
+        assert len(warnings) == 1
+        assert warnings[0].variables == ("y",)
+
+    def test_warning_rendering(self):
+        (warning,) = analyze("""
+            input G
+            where C(x), not(x -> "a" -> y)
+            create F(x)
+            output O
+        """)
+        text = str(warning)
+        assert "Q1" in text and "y" in text
+
+    def test_nested_blocks_inherit_bindings(self):
+        # y is bound by the parent block: the child negation is safe.
+        assert is_range_restricted("""
+            input G
+            where C(x), x -> "a" -> y
+            create F(x)
+            { where not(y -> "b" -> x)
+              link F(x) -> "odd" -> y }
+            output O
+        """)
+        # ...but a genuinely free variable in the child is flagged.
+        warnings = analyze("""
+            input G
+            where C(x)
+            create F(x)
+            { where not(x -> "b" -> z)
+              collect Odd(x) }
+            output O
+        """)
+        assert warnings and warnings[0].variables == ("z",)
+
+    def test_parse_accepts_unrestricted(self):
+        """Analysis warns; evaluation still works (active domain)."""
+        from repro.graph import Graph, Oid
+        from repro.struql import QueryEngine
+        graph = Graph("G")
+        graph.add_edge(Oid("a"), "e", Oid("b"))
+        out = QueryEngine().evaluate("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """, graph).output
+        assert out.edge_count == 3  # complement of 1 edge over 2 nodes

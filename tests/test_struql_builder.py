@@ -1,0 +1,143 @@
+"""The programmatic query builder (QBE direction, section 6)."""
+
+import pytest
+
+from repro.errors import StruQLSemanticError
+from repro.graph import Atom, Oid
+from repro.sites.homepage import FIG3_QUERY, fig2_data
+from repro.struql import QueryEngine, parse_query
+from repro.struql.builder import (
+    QueryBuilder,
+    alt,
+    anylabel,
+    anypath,
+    concat,
+    const,
+    edge,
+    eq,
+    ge,
+    isin,
+    label,
+    labelpred,
+    lt,
+    member,
+    ne,
+    notc,
+    path,
+    skolem,
+    star,
+    var,
+)
+
+
+def build_fig3():
+    """The Fig 3 query, constructed programmatically."""
+    x, l, v = var("x"), var("l"), var("v")
+    b = QueryBuilder("BIBTEX", output="HomePage")
+    b.create(skolem("RootPage"), skolem("AbstractsPage"))
+    b.link(skolem("RootPage"), "AbstractsPage", skolem("AbstractsPage"))
+    with b.where(member("Publications", x), edge(x, l, v)):
+        b.create(skolem("PaperPresentation", x), skolem("AbstractPage", x))
+        b.link(skolem("AbstractPage", x), l, v)
+        b.link(skolem("PaperPresentation", x), l, v)
+        b.link(skolem("PaperPresentation", x), "Abstract",
+               skolem("AbstractPage", x))
+        b.link(skolem("AbstractsPage"), "Abstract",
+               skolem("AbstractPage", x))
+        with b.where(eq(l, "year")):
+            b.create(skolem("YearPage", v))
+            b.link(skolem("YearPage", v), "Year", v)
+            b.link(skolem("YearPage", v), "Paper",
+                   skolem("PaperPresentation", x))
+            b.link(skolem("RootPage"), "YearPage", skolem("YearPage", v))
+        with b.where(eq(l, "category")):
+            b.create(skolem("CategoryPage", v))
+            b.link(skolem("CategoryPage", v), "Name", v)
+            b.link(skolem("CategoryPage", v), "Paper",
+                   skolem("PaperPresentation", x))
+            b.link(skolem("RootPage"), "CategoryPage",
+                   skolem("CategoryPage", v))
+    return b
+
+
+class TestBuilder:
+    def test_builds_fig3_equivalent(self):
+        built = build_fig3().build()
+        data = fig2_data()
+        engine = QueryEngine()
+        from_text = engine.evaluate(parse_query(FIG3_QUERY), data).output
+        from_builder = engine.evaluate(built, data).output
+        assert set(from_text.edges()) == set(from_builder.edges())
+        assert from_text.node_count == from_builder.node_count
+
+    def test_to_text_parses_back(self):
+        text = build_fig3().to_text()
+        reparsed = parse_query(text)
+        assert reparsed.link_count() == 11
+        assert set(reparsed.skolem_functions()) == {
+            "RootPage", "AbstractsPage", "PaperPresentation",
+            "AbstractPage", "YearPage", "CategoryPage"}
+
+    def test_semantic_checks_apply(self):
+        b = QueryBuilder("G")
+        with b.where(member("C", var("x"))):
+            b.create(skolem("F", var("x")))
+            b.link(skolem("F", var("x")), "to", skolem("Ghost", var("x")))
+        with pytest.raises(StruQLSemanticError):
+            b.build()
+
+    def test_unbalanced_scopes_rejected(self):
+        b = QueryBuilder("G")
+        scope = b.where(member("C", var("x")))
+        scope.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_collect_and_constants(self):
+        from repro.graph import Graph
+        graph = Graph("G")
+        a = Oid("a")
+        graph.add_to_collection("C", a)
+        graph.add_edge(a, "age", Atom.int(41))
+        b = QueryBuilder("G", output="O")
+        x, n = var("x"), var("n")
+        with b.where(member("C", x), edge(x, "age", n), ge(n, 40)):
+            b.create(skolem("Old", x))
+            b.collect("Olds", skolem("Old", x))
+        out = QueryEngine().evaluate(b.build(), graph).output
+        assert out.collection("Olds") == [Oid.skolem("Old", (a,))]
+
+    def test_path_combinators(self):
+        from repro.graph import Graph
+        graph = Graph("G")
+        graph.add_edge(Oid("a"), "x", Oid("b"))
+        graph.add_edge(Oid("b"), "y", Oid("c"))
+        graph.add_to_collection("Roots", Oid("a"))
+        b = QueryBuilder("G", output="O")
+        s, t = var("s"), var("t")
+        expr = concat(label("x"), star(alt(label("y"), label("z"))))
+        with b.where(member("Roots", s), path(s, expr, t)):
+            b.create(skolem("Hit", t))
+            b.collect("Hits", skolem("Hit", t))
+        out = QueryEngine().evaluate(b.build(), graph).output
+        hits = {m.skolem_args[0] for m in out.collection("Hits")}
+        assert hits == {Oid("b"), Oid("c")}
+
+    def test_all_comparison_helpers(self):
+        for fn, op in ((eq, "="), (ne, "!="), (lt, "<"), (ge, ">=")):
+            cond = fn(var("a"), 3)
+            assert cond.op == op
+            assert cond.right == const(3)
+
+    def test_misc_combinators(self):
+        assert str(anylabel()) == "true"
+        assert str(anypath()) == "true*"
+        assert str(labelpred("isName")) == "isName"
+        assert str(notc(member("C", var("x")))) == "not(C(x))"
+        assert isin(var("l"), "a", "b").values[1] == const("b")
+
+    def test_strings_and_scalars_autowrap(self):
+        cond = edge(var("x"), "label", "value")
+        assert cond.target == const("value")
+        term = skolem("F", 3, "s")
+        assert term.args[0] == const(3)

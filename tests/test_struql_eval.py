@@ -1,0 +1,370 @@
+"""StruQL evaluation: the two-stage semantics end to end.
+
+Covers the paper's examples (PostScript pages, TextOnly copy, the
+complement query, graph-closure expressiveness) plus construction rules
+and multi-query composition.
+"""
+
+import pytest
+
+from repro.errors import (
+    StruQLSemanticError,
+    UnboundVariableError,
+    UnknownPredicateError,
+)
+from repro.graph import Atom, Graph, Oid
+from repro.struql import QueryEngine, SkolemRegistry, evaluate, parse_query
+from repro.struql.rewriter import compose
+
+
+class TestPaperExamples:
+    def test_postscript_pages(self, any_engine):
+        """The paper's first example query."""
+        graph = Graph("G")
+        home = Oid("home")
+        graph.add_to_collection("HomePages", home)
+        graph.add_edge(home, "Paper", Atom.file("p1.ps"))
+        graph.add_edge(home, "Paper", Atom.file("p2.html"))
+        result = any_engine.evaluate("""
+            input G
+            where HomePages(p), p -> "Paper" -> q, isPostScript(q)
+            collect PostscriptPages(q)
+            output O
+        """, graph)
+        members = result.output.collection("PostscriptPages")
+        assert members == [Atom.file("p1.ps")]
+
+    def test_textonly_copy(self, tiny_graph, any_engine):
+        """The TextOnly query: copy reachable graph minus image edges."""
+        result = any_engine.evaluate("""
+            input Site
+            where Root(p), p -> * -> q, q -> l -> q2,
+                  not(isImageFile(q2))
+            create New(p), New(q), New(q2)
+            link New(q) -> l -> New(q2)
+            collect TextOnlyRoot(New(p))
+            output TextOnly
+        """, tiny_graph)
+        out = result.output
+        assert out.collection("TextOnlyRoot") == [
+            Oid.skolem("New", (Oid("root"),))]
+        labels = {e.label for e in out.edges()}
+        assert "data" not in labels  # the image-file edge is gone
+        assert {"sec", "pic", "txt", "next"} <= labels
+
+    def test_complement_query(self, any_engine):
+        """The active-domain complement example."""
+        graph = Graph("G")
+        a, b = Oid("a"), Oid("b")
+        graph.add_edge(a, "e", b)
+        result = any_engine.evaluate("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """, graph)
+        out = result.output
+        fa, fb = Oid.skolem("f", (a,)), Oid.skolem("f", (b,))
+        assert not out.has_edge(fa, "e", fb)       # complemented away
+        assert out.has_edge(fb, "e", fa)           # absent -> present
+        assert out.has_edge(fa, "e", fa)
+        assert out.has_edge(fb, "e", fb)
+
+    def test_fig4_site_graph(self, fig4_site):
+        """Fig 3 over Fig 2 produces exactly Fig 4's structure."""
+        root = Oid.skolem("RootPage", ())
+        abstracts = Oid.skolem("AbstractsPage", ())
+        year97 = Oid.skolem("YearPage", (Atom.int(1997),))
+        year98 = Oid.skolem("YearPage", (Atom.int(1998),))
+        pres1 = Oid.skolem("PaperPresentation", (Oid("pub1"),))
+        abs1 = Oid.skolem("AbstractPage", (Oid("pub1"),))
+        assert fig4_site.has_edge(root, "AbstractsPage", abstracts)
+        assert fig4_site.has_edge(root, "YearPage", year97)
+        assert fig4_site.has_edge(root, "YearPage", year98)
+        assert fig4_site.has_edge(year97, "Year", Atom.int(1997))
+        assert fig4_site.has_edge(year97, "Paper", pres1)
+        assert fig4_site.has_edge(pres1, "Abstract", abs1)
+        assert fig4_site.has_edge(abstracts, "Abstract", abs1)
+        # Presentations carry the copied publication attributes.
+        titles = fig4_site.get(pres1, "title")
+        assert len(titles) == 1
+        # Three categories across the two pubs (Fig 4 shows this shape).
+        category_pages = [n for n in fig4_site.nodes()
+                          if n.skolem_fn == "CategoryPage"]
+        assert len(category_pages) == 3
+
+    def test_fig4_same_for_all_optimizers(self, fig2_graph, fig3_query):
+        outputs = []
+        for optimizer in ("naive", "heuristic", "cost"):
+            out = QueryEngine(optimizer=optimizer).evaluate(
+                fig3_query, fig2_graph).output
+            outputs.append((out.node_count, set(out.edges())))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestExpressivePower:
+    def test_transitive_closure_of_relation_by_composition(self,
+                                                           any_engine):
+        """The FO+TC claim: closure of an arbitrary binary relation as
+        the composition of two queries."""
+        graph = Graph("R")
+        pairs = [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")]
+        for index, (left, right) in enumerate(pairs):
+            t = Oid(f"t{index}")
+            graph.add_to_collection("R", t)
+            graph.add_edge(t, "from", Atom.string(left))
+            graph.add_edge(t, "to", Atom.string(right))
+        build_graph = """
+            input R
+            where R(t), t -> "from" -> a, t -> "to" -> b
+            create N(a), N(b)
+            link N(a) -> "e" -> N(b)
+            collect Nodes(N(a)), Nodes(N(b))
+            output E
+        """
+        closure = """
+            input E
+            where Nodes(x), x -> "e" . "e"* -> y
+            create M(x), M(y)
+            link M(x) -> "tc" -> M(y)
+            output TC
+        """
+        result = compose([build_graph, closure], graph)
+        out = result.output
+        def m(name):
+            return Oid.skolem(
+                "M", (Oid.skolem("N", (Atom.string(name),)),))
+        assert out.has_edge(m("a"), "tc", m("d"))
+        assert out.has_edge(m("a"), "tc", m("b"))
+        assert out.has_edge(m("b"), "tc", m("d"))
+        assert not out.has_edge(m("a"), "tc", m("y"))
+        assert out.has_edge(m("x"), "tc", m("y"))
+
+
+class TestConditions:
+    @pytest.fixture
+    def people(self) -> Graph:
+        graph = Graph("G")
+        for name, age in (("ann", 30), ("bob", 40), ("cy", 30)):
+            oid = Oid(name)
+            graph.add_to_collection("People", oid)
+            graph.add_edge(oid, "age", Atom.int(age))
+            graph.add_edge(oid, "name", Atom.string(name))
+        return graph
+
+    def run(self, text, graph, engine=None):
+        engine = engine or QueryEngine()
+        return engine.evaluate(text, graph).output
+
+    def test_comparison_filters(self, people):
+        out = self.run("""
+            input G
+            where People(p), p -> "age" -> a, a > 30
+            collect Old(p)
+            output O
+        """, people)
+        assert out.collection("Old") == [Oid("bob")]
+
+    def test_equality_between_variables(self, people):
+        out = self.run("""
+            input G
+            where People(p), People(q), p -> "age" -> a,
+                  q -> "age" -> b, a = b, p != q
+            collect SameAge(p)
+            output O
+        """, people)
+        assert set(out.collection("SameAge")) == {Oid("ann"), Oid("cy")}
+
+    def test_in_condition_binds(self, people):
+        out = self.run("""
+            input G
+            where People(p), p -> l -> v, l in {"age"}
+            collect Ages(v)
+            output O
+        """, people)
+        assert set(out.collection("Ages")) == {Atom.int(30), Atom.int(40)}
+
+    def test_coercion_in_comparison(self, people):
+        out = self.run("""
+            input G
+            where People(p), p -> "age" -> a, a = "30"
+            collect Thirty(p)
+            output O
+        """, people)
+        assert set(out.collection("Thirty")) == {Oid("ann"), Oid("cy")}
+
+    def test_unknown_predicate(self, people):
+        with pytest.raises(UnknownPredicateError):
+            self.run("""
+                input G
+                where People(p), frobnicate(p)
+                collect X(p)
+                output O
+            """, people)
+
+    def test_custom_predicate(self, people):
+        from repro.struql import default_registry
+        registry = default_registry()
+        registry.register("isShortName",
+                          lambda v: len(str(v.value)) <= 2)
+        engine = QueryEngine(predicates=registry)
+        out = self.run("""
+            input G
+            where People(p), p -> "name" -> n, isShortName(n)
+            collect Short(p)
+            output O
+        """, people, engine)
+        assert out.collection("Short") == [Oid("cy")]
+
+    def test_backward_anchored_edge(self, people):
+        out = self.run("""
+            input G
+            where p -> "age" -> 40
+            collect Exactly40(p)
+            output O
+        """, people)
+        assert out.collection("Exactly40") == [Oid("bob")]
+
+    def test_schema_scan_arc_variable(self, people):
+        """Querying the schema: all attribute names in the graph."""
+        out = self.run("""
+            input G
+            where x -> l -> v
+            collect Labels(l)
+            output O
+        """, people)
+        assert set(out.collection("Labels")) == {Atom.string("age"),
+                                                 Atom.string("name")}
+
+    def test_empty_collection_yields_nothing(self, people):
+        people.declare_collection("Empty")
+        out = self.run("""
+            input G
+            where Empty(x)
+            create F(x)
+            collect R(F(x))
+            output O
+        """, people)
+        assert out.collection("R") == []
+
+
+class TestConstruction:
+    def test_skolem_dedup_across_rows(self, fig2_graph):
+        """Each (fn, args) pair mints exactly one node across all rows."""
+        out = evaluate("""
+            input BIBTEX
+            where Publications(x), x -> l -> v
+            create Page(x)
+            collect Pages(Page(x))
+            output O
+        """, fig2_graph)
+        assert len(out.collection("Pages")) == 2
+
+    def test_zero_arg_skolem_singleton(self, fig2_graph):
+        out = evaluate("""
+            input BIBTEX
+            where Publications(x)
+            create Home()
+            link Home() -> "pub" -> x
+            output O
+        """, fig2_graph)
+        homes = [n for n in out.nodes() if n.skolem_fn == "Home"]
+        assert len(homes) == 1
+        assert len(out.get(homes[0], "pub")) == 2
+
+    def test_arc_variable_as_link_label(self, fig2_graph):
+        out = evaluate("""
+            input BIBTEX
+            where Publications(x), x -> l -> v
+            create Copy(x)
+            link Copy(x) -> l -> v
+            output O
+        """, fig2_graph)
+        copy1 = Oid.skolem("Copy", (Oid("pub1"),))
+        assert set(out.labels_of(copy1)) == \
+            set(fig2_graph.labels_of(Oid("pub1")))
+
+    def test_immutability_enforced_at_runtime(self, fig2_graph):
+        # Input nodes referenced as link targets never gain edges; a
+        # Skolem identity colliding with an input node is caught.
+        graph = Graph("G")
+        trap = Oid.skolem("F", (Atom.int(1),))
+        graph.add_node(trap)           # input graph contains "F(1)"
+        graph.add_to_collection("C", trap)
+        engine = QueryEngine()
+        with pytest.raises(StruQLSemanticError):
+            engine.evaluate("""
+                input G
+                where C(x)
+                create F(1)
+                link F(1) -> "l" -> x
+                output O
+            """, graph, output=graph.copy("O"))
+
+    def test_collect_skolem_term(self, tiny_graph):
+        out = evaluate("""
+            input Site
+            where Root(p)
+            create Top(p)
+            collect Tops(Top(p))
+            output O
+        """, tiny_graph)
+        assert out.collection("Tops") == [Oid.skolem("Top", (Oid("root"),))]
+
+    def test_output_contains_only_referenced_data(self, fig2_graph):
+        out = evaluate("""
+            input BIBTEX
+            where Publications(x), x -> "year" -> y
+            create P(x)
+            link P(x) -> "year" -> y
+            output O
+        """, fig2_graph)
+        # pub1/pub2 themselves are not in the output graph; only the
+        # new pages and the year atoms are.
+        assert not out.has_node(Oid("pub1"))
+        assert out.node_count == 2
+
+    def test_extend_existing_output(self, fig2_graph):
+        engine = QueryEngine()
+        skolem = SkolemRegistry()
+        first = engine.evaluate("""
+            input BIBTEX
+            where Publications(x)
+            create P(x)
+            collect Pages(P(x))
+            output O
+        """, fig2_graph, skolem=skolem)
+        second = engine.evaluate("""
+            input BIBTEX
+            where Publications(x), x -> "year" -> y
+            create P(x), Nav()
+            link Nav() -> "to" -> P(x)
+            output O
+        """, fig2_graph, output=first.output, skolem=skolem)
+        out = second.output
+        nav = Oid.skolem("Nav", ())
+        assert len(out.get(nav, "to")) == 2
+        assert len(out.collection("Pages")) == 2
+
+
+class TestEngineDiagnostics:
+    def test_traces_capture_rows(self, fig2_graph, fig3_query):
+        result = QueryEngine().evaluate(fig3_query, fig2_graph)
+        assert result.total_bindings > 0
+        text = result.explain()
+        assert "rows" in text and "Q1" in "".join(
+            t.label for t in result.traces)
+
+    def test_unbound_comparison_raises(self, fig2_graph):
+        engine = QueryEngine(optimizer="naive")
+        query = parse_query("""
+            input BIBTEX
+            where a < b, Publications(a)
+            collect X(a)
+            output O
+        """)
+        # Naive order delays the comparison until executable; both a and
+        # b can never bind b, so the runtime reports the unbound var.
+        with pytest.raises(UnboundVariableError):
+            engine.evaluate(query, fig2_graph)

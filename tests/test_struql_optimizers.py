@@ -1,0 +1,174 @@
+"""Optimizers: ordering validity, equivalence, and that plans exploit
+bound variables and statistics sensibly."""
+
+import pytest
+
+from repro.graph import Atom, Graph, Oid
+from repro.repository.stats import GraphStatistics
+from repro.struql import QueryEngine, default_registry, parse_query
+from repro.struql.ast import (
+    ComparisonCond,
+    Const,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    Var,
+)
+from repro.struql.optimizer import get_optimizer
+from repro.struql.optimizer.base import executable
+from repro.struql.optimizer.cost import estimate_condition
+
+
+@pytest.fixture
+def skewed_graph() -> Graph:
+    """A big collection and a tiny one, so ordering matters."""
+    graph = Graph("G")
+    for index in range(200):
+        oid = Oid(f"big{index}")
+        graph.add_to_collection("Big", oid)
+        graph.add_edge(oid, "v", Atom.int(index % 7))
+    for index in range(3):
+        oid = Oid(f"small{index}")
+        graph.add_to_collection("Small", oid)
+        graph.add_edge(oid, "v", Atom.int(index))
+        graph.add_edge(oid, "big", Oid(f"big{index}"))
+    return graph
+
+
+def conditions_of(text: str):
+    query = parse_query(f"input G where {text} create X() output O")
+    return next(b for b in query.blocks() if b.conditions).conditions
+
+
+class TestExecutable:
+    def test_predicate_needs_bound_args(self, skewed_graph):
+        registry = default_registry()
+        (cond,) = conditions_of("isPostScript(q)")
+        assert not executable(cond, set(), skewed_graph, registry)
+        assert executable(cond, {"q"}, skewed_graph, registry)
+
+    def test_collection_always_executable(self, skewed_graph):
+        registry = default_registry()
+        (cond,) = conditions_of("Big(x)")
+        assert executable(cond, set(), skewed_graph, registry)
+
+    def test_equality_needs_one_side(self, skewed_graph):
+        registry = default_registry()
+        (cond,) = conditions_of("a = b")
+        assert not executable(cond, set(), skewed_graph, registry)
+        assert executable(cond, {"a"}, skewed_graph, registry)
+
+    def test_ordered_comparison_needs_both(self, skewed_graph):
+        registry = default_registry()
+        (cond,) = conditions_of("a < 3")
+        assert executable(cond, {"a"}, skewed_graph, registry)
+        (cond2,) = conditions_of("a < b")
+        assert not executable(cond2, {"a"}, skewed_graph, registry)
+
+
+class TestOrdering:
+    def order(self, name, text, graph, bound=frozenset()):
+        optimizer = get_optimizer(name)
+        return optimizer.order(conditions_of(text), set(bound), graph,
+                               default_registry(),
+                               GraphStatistics.gather(graph))
+
+    def test_naive_keeps_source_order(self, skewed_graph):
+        ordered = self.order("naive", "Big(x), Small(y)", skewed_graph)
+        assert [c.name for c in ordered] == ["Big", "Small"]
+
+    def test_naive_delays_nonexecutable(self, skewed_graph):
+        ordered = self.order("naive", "isPostScript(q), Big(q)",
+                             skewed_graph)
+        assert isinstance(ordered[0], MembershipCond)
+        assert ordered[0].name == "Big"
+
+    def test_heuristic_binds_constants_first(self, skewed_graph):
+        ordered = self.order(
+            "heuristic", 'Big(x), x -> "v" -> w, w = 3', skewed_graph)
+        # An equality against a constant is a free bind: it runs before
+        # any generator, anchoring the edge step from the value side.
+        kinds = [type(c).__name__ for c in ordered]
+        assert kinds == ["ComparisonCond", "MembershipCond", "PathCond"]
+
+    def test_heuristic_defers_free_negation(self, skewed_graph):
+        ordered = self.order(
+            "heuristic", "not(p -> l -> q), Big(p), p -> l -> q2",
+            skewed_graph)
+        assert isinstance(ordered[-1], NotCond)
+
+    def test_cost_starts_with_small_collection(self, skewed_graph):
+        ordered = self.order(
+            "cost", "Big(x), Small(y), y -> \"big\" -> x", skewed_graph)
+        assert ordered[0].name == "Small"
+        # Then traverse from the bound side; the big scan never runs as
+        # a generator but as a membership filter at the end.
+        assert isinstance(ordered[1], PathCond)
+
+    def test_cost_uses_bound_seed(self, skewed_graph):
+        ordered = self.order(
+            "cost", "Big(x), x -> \"v\" -> w", skewed_graph,
+            bound={"x"})
+        # With x pre-bound the membership check is a cheap filter first.
+        assert ordered[0].name == "Big"
+
+    def test_all_optimizers_produce_same_bindings(self, skewed_graph):
+        text = """
+            input G
+            where Small(y), y -> "big" -> x, x -> "v" -> w, w != 99
+            create R(y, x)
+            collect Out(R(y, x))
+            output O
+        """
+        results = []
+        for optimizer in ("naive", "heuristic", "cost"):
+            out = QueryEngine(optimizer=optimizer).evaluate(
+                text, skewed_graph).output
+            results.append(frozenset(out.collection("Out")))
+        assert results[0] == results[1] == results[2]
+        assert len(results[0]) == 3
+
+
+class TestCostModel:
+    def test_collection_multiplier_is_size(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        (big,) = conditions_of("Big(x)")
+        (small,) = conditions_of("Small(x)")
+        big_mult, _ = estimate_condition(big, set(), stats)
+        small_mult, _ = estimate_condition(small, set(), stats)
+        assert big_mult == 200 and small_mult == 3
+
+    def test_bound_membership_is_selective(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        (big,) = conditions_of("Big(x)")
+        mult, _ = estimate_condition(big, {"x"}, stats)
+        assert mult < 1.0
+
+    def test_filter_selectivities(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        (eq,) = conditions_of("a = 3")
+        (ne,) = conditions_of("a != 3")
+        eq_mult, _ = estimate_condition(eq, {"a"}, stats)
+        ne_mult, _ = estimate_condition(ne, {"a"}, stats)
+        assert eq_mult < ne_mult
+
+    def test_free_negation_is_huge(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        (neg,) = conditions_of("not(p -> l -> q)")
+        mult, _ = estimate_condition(neg, set(), stats)
+        assert mult > stats.node_count
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            get_optimizer("quantum")
+
+    def test_dp_falls_back_to_greedy_beyond_limit(self, skewed_graph):
+        # 12 conditions > DP_LIMIT: just verify it still orders validly.
+        text = ", ".join(f'x -> "v" -> w{i}' for i in range(11))
+        conditions = conditions_of(f"Big(x), {text}")
+        optimizer = get_optimizer("cost")
+        ordered = optimizer.order(conditions, set(), skewed_graph,
+                                  default_registry(),
+                                  GraphStatistics.gather(skewed_graph))
+        assert len(ordered) == len(conditions)
+        assert ordered[0].name == "Big"

@@ -1,0 +1,302 @@
+"""The StruQL parser: grammar coverage, block structure, static checks."""
+
+import pytest
+
+from repro.errors import StruQLSemanticError, StruQLSyntaxError
+from repro.graph import Atom
+from repro.struql import (
+    ANY_PATH,
+    AnyLabel,
+    ComparisonCond,
+    Const,
+    InCond,
+    LabelEquals,
+    LabelPredicate,
+    MembershipCond,
+    NotCond,
+    PathCond,
+    RAlt,
+    RConcat,
+    RLabel,
+    RStar,
+    SkolemTerm,
+    Var,
+    parse_query,
+)
+
+
+def single_where(text: str):
+    query = parse_query(f"input G where {text} create X() output O")
+    blocks = [b for b in query.blocks() if b.conditions]
+    assert len(blocks) == 1
+    return blocks[0].conditions
+
+
+class TestConditions:
+    def test_membership(self):
+        (cond,) = single_where("HomePages(p)")
+        assert cond == MembershipCond("HomePages", (Var("p"),))
+
+    def test_predicate_with_constant(self):
+        (cond,) = single_where('startsWith(p, "A")')
+        assert cond.name == "startsWith"
+        assert cond.args[1] == Const(Atom.string("A"))
+
+    def test_arc_variable_edge(self):
+        (cond,) = single_where("x -> l -> v")
+        assert cond == PathCond(Var("x"), Var("v"), arc_var="l")
+
+    def test_label_constant_edge(self):
+        (cond,) = single_where('x -> "Paper" -> q')
+        assert cond.path == RLabel(LabelEquals("Paper"))
+
+    def test_star_is_any_path(self):
+        (cond,) = single_where("x -> * -> q")
+        assert cond.path == ANY_PATH
+
+    def test_chain_expands(self):
+        conds = single_where('x -> * -> y -> l -> z')
+        assert len(conds) == 2
+        assert conds[0].target == Var("y")
+        assert conds[1] == PathCond(Var("y"), Var("z"), arc_var="l")
+
+    def test_comparison_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            (cond,) = single_where(f"l {op} 3")
+            assert cond == ComparisonCond(Var("l"), op, Const(Atom.int(3)))
+
+    def test_in_condition(self):
+        (cond,) = single_where('l in {"Paper", "TechReport"}')
+        assert isinstance(cond, InCond)
+        assert len(cond.values) == 2
+
+    def test_negation(self):
+        (cond,) = single_where("not(isImageFile(q))")
+        assert isinstance(cond, NotCond)
+        assert isinstance(cond.inner, MembershipCond)
+
+    def test_negated_path(self):
+        (cond,) = single_where("not(p -> l -> q)")
+        assert isinstance(cond.inner, PathCond)
+
+    def test_negated_chain_rejected(self):
+        with pytest.raises(StruQLSyntaxError):
+            single_where("not(p -> l -> q -> m -> r)")
+
+    def test_and_separator(self):
+        conds = single_where("A(x) and B(y)")
+        assert len(conds) == 2
+
+    def test_semicolon_separator(self):
+        conds = single_where("A(x); B(y)")
+        assert len(conds) == 2
+
+    def test_constant_endpoints(self):
+        (cond,) = single_where('x -> "year" -> 1997')
+        assert cond.target == Const(Atom.int(1997))
+
+    def test_negative_constant(self):
+        (cond,) = single_where("v < -3")
+        assert cond.right == Const(Atom.int(-3))
+
+
+class TestRegularPaths:
+    def path(self, text: str):
+        (cond,) = single_where(f"x -> {text} -> y")
+        return cond.path
+
+    def test_alternation(self):
+        path = self.path('("a" | "b")')
+        assert path == RAlt((RLabel(LabelEquals("a")),
+                             RLabel(LabelEquals("b"))))
+
+    def test_concatenation(self):
+        path = self.path('("a" . "b")')
+        assert path == RConcat((RLabel(LabelEquals("a")),
+                                RLabel(LabelEquals("b"))))
+
+    def test_closure(self):
+        path = self.path('"a"*')
+        assert path == RStar(RLabel(LabelEquals("a")))
+
+    def test_predicate_star(self):
+        path = self.path("isName*")
+        assert path == RStar(RLabel(LabelPredicate("isName")))
+
+    def test_true_is_any_label(self):
+        path = self.path("true")
+        assert path == RLabel(AnyLabel())
+
+    def test_precedence_star_binds_tightest(self):
+        path = self.path('("a"."b"* | "c")')
+        assert isinstance(path, RAlt)
+        concat = path.options[0]
+        assert isinstance(concat, RConcat)
+        assert isinstance(concat.parts[1], RStar)
+
+    def test_double_star(self):
+        path = self.path('"a"**')
+        assert path == RStar(RStar(RLabel(LabelEquals("a"))))
+
+    def test_renders_back(self):
+        path = self.path('("a" . ("b" | "c")*)')
+        assert str(path) == '"a".("b"|"c")*'
+
+
+class TestBlocks:
+    def test_fig3_block_structure(self, fig3_query):
+        # Top block: 2 creates, 1 link, no conditions (governed by true);
+        # one child Q1 with two nested children Q2, Q3.
+        root = fig3_query.root
+        assert [str(c) for c in root.creates] == ["RootPage()",
+                                                  "AbstractsPage()"]
+        assert not root.conditions
+        assert len(root.children) == 1
+        q1 = root.children[0]
+        assert q1.label == "Q1" and len(q1.conditions) == 2
+        assert len(q1.children) == 2
+        assert q1.children[0].label == "Q2"
+        assert q1.children[1].label == "Q3"
+
+    def test_sequential_where_conjoins(self):
+        query = parse_query("""
+        input G
+        where A(x)
+        create P(x)
+        where x -> "f" -> y
+        create Q(y)
+        link Q(y) -> "of" -> P(x)
+        output O
+        """)
+        blocks = list(query.blocks())
+        # The first where binds to the root block; the second opens an
+        # implicit child whose conditions conjoin with the first.
+        assert len(blocks) == 2
+        assert blocks[0].label == "Q1"
+        assert blocks[1].label == "Q2"
+        assert blocks[1].conditions[0].path is not None
+        assert blocks[1].links  # the link is governed by Q1 ^ Q2
+
+    def test_link_count(self, fig3_query):
+        assert fig3_query.link_count() == 11
+
+    def test_skolem_functions(self, fig3_query):
+        assert set(fig3_query.skolem_functions()) == {
+            "RootPage", "AbstractsPage", "PaperPresentation",
+            "AbstractPage", "YearPage", "CategoryPage"}
+
+
+class TestSemanticChecks:
+    def test_link_source_must_be_skolem(self):
+        with pytest.raises(StruQLSemanticError):
+            parse_query("""
+            input G
+            where A(x), x -> "f" -> y
+            create F(y)
+            link x -> "A" -> F(y)
+            output O
+            """)
+
+    def test_link_target_may_be_existing(self):
+        query = parse_query("""
+        input G
+        where A(x)
+        create F(x)
+        link F(x) -> "A" -> x
+        output O
+        """)
+        assert query.link_count() == 1
+
+    def test_skolem_must_be_created_somewhere(self):
+        with pytest.raises(StruQLSemanticError):
+            parse_query("""
+            input G
+            where A(x)
+            create F(x)
+            link F(x) -> "to" -> G(x)
+            output O
+            """)
+
+    def test_skolem_arity_checked(self):
+        with pytest.raises(StruQLSemanticError):
+            parse_query("""
+            input G
+            where A(x), B(y)
+            create F(x)
+            link F(x, y) -> "to" -> F(x)
+            output O
+            """)
+
+    def test_unbound_variable_in_link(self):
+        with pytest.raises(StruQLSemanticError):
+            parse_query("""
+            input G
+            where A(x)
+            create F(x)
+            link F(x) -> "to" -> z
+            output O
+            """)
+
+    def test_unbound_arc_variable_in_link(self):
+        with pytest.raises(StruQLSemanticError):
+            parse_query("""
+            input G
+            where A(x)
+            create F(x)
+            link F(x) -> m -> x
+            output O
+            """)
+
+    def test_nested_block_sees_ancestor_bindings(self):
+        query = parse_query("""
+        input G
+        where A(x)
+        create F(x)
+        { where x -> "f" -> y
+          link F(x) -> "to" -> y }
+        output O
+        """)
+        assert query.link_count() == 1
+
+    def test_create_in_nested_usable_by_sibling_links(self):
+        # Skolem functions are global across the query.
+        parse_query("""
+        input G
+        { where A(x) create F(x) }
+        { where A(x) create G2(x) link G2(x) -> "peer" -> F(x) }
+        output O
+        """)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("bad", [
+        "where A(x) create X() output O",          # missing input
+        "input G where A(x) create X()",           # missing output
+        "input G where A(x) create X() output O trailing",
+        "input G where create X() output O",
+        "input G where A(x) link -> output O",
+        "input G where A(x) create X( output O",
+        'input G where x -> -> y create X() output O',
+        "input G where A(x) create X() link X() output O",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises((StruQLSyntaxError, StruQLSemanticError)):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(StruQLSyntaxError) as err:
+            parse_query("input G\nwhere ???\noutput O")
+        assert err.value.line == 2
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query(
+            "INPUT g WHERE A(x) CREATE F(x) Output o")
+        assert query.input_name == "g" and query.output_name == "o"
+
+    def test_comments_everywhere(self):
+        parse_query("""
+        input G  // comment
+        where A(x) /* block */ , B(x)
+        create F(x)  # hash comment
+        output O
+        """)

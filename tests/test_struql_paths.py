@@ -1,0 +1,148 @@
+"""Regular path expressions: compilation and product-graph evaluation."""
+
+import pytest
+
+from repro.graph import Atom, Graph, Oid
+from repro.struql import (
+    AnyLabel,
+    LabelEquals,
+    LabelPredicate,
+    PathEvaluator,
+    RAlt,
+    RConcat,
+    RLabel,
+    RStar,
+    compile_path,
+    default_registry,
+)
+from repro.errors import UnknownPredicateError
+
+
+def label(name: str) -> RLabel:
+    return RLabel(LabelEquals(name))
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    r"""a -x-> b -y-> d ; a -x-> c -z-> d ; d -w-> atom."""
+    graph = Graph("diamond")
+    a, b, c, d = Oid("a"), Oid("b"), Oid("c"), Oid("d")
+    graph.add_edge(a, "x", b)
+    graph.add_edge(a, "x", c)
+    graph.add_edge(b, "y", d)
+    graph.add_edge(c, "z", d)
+    graph.add_edge(d, "w", Atom.string("leaf"))
+    return graph
+
+
+class TestCompilation:
+    def test_single_label(self):
+        nfa = compile_path(label("a"))
+        assert not nfa.accepts_empty
+        assert nfa.state_count == 2
+
+    def test_star_accepts_empty(self):
+        assert compile_path(RStar(label("a"))).accepts_empty
+
+    def test_concat_not_empty(self):
+        nfa = compile_path(RConcat((label("a"), label("b"))))
+        assert not nfa.accepts_empty
+
+    def test_alt_empty_iff_an_option_is(self):
+        nfa = compile_path(RAlt((label("a"), RStar(label("b")))))
+        assert nfa.accepts_empty
+
+    def test_reversed_language(self):
+        nfa = compile_path(RConcat((label("a"), label("b"))))
+        rev = nfa.reversed()
+        assert rev.start == nfa.accept and rev.accept == nfa.start
+
+
+class TestEvaluation:
+    def eval(self, expr, graph, start, registry):
+        return PathEvaluator(expr, registry).forward(graph, Oid(start))
+
+    def test_single_step(self, diamond, registry):
+        hits = self.eval(label("x"), diamond, "a", registry)
+        assert hits == {Oid("b"), Oid("c")}
+
+    def test_concat(self, diamond, registry):
+        hits = self.eval(RConcat((label("x"), label("y"))), diamond, "a",
+                         registry)
+        assert hits == {Oid("d")}
+
+    def test_alternation(self, diamond, registry):
+        expr = RConcat((label("x"), RAlt((label("y"), label("z")))))
+        assert self.eval(expr, diamond, "a", registry) == {Oid("d")}
+
+    def test_any_label(self, diamond, registry):
+        assert self.eval(RLabel(AnyLabel()), diamond, "a", registry) == \
+            {Oid("b"), Oid("c")}
+
+    def test_star_includes_start(self, diamond, registry):
+        hits = self.eval(RStar(RLabel(AnyLabel())), diamond, "a", registry)
+        assert Oid("a") in hits
+        assert Atom.string("leaf") in hits  # atoms reachable too
+
+    def test_star_on_cycle_terminates(self, registry):
+        graph = Graph("cycle")
+        graph.add_edge(Oid("a"), "n", Oid("b"))
+        graph.add_edge(Oid("b"), "n", Oid("a"))
+        hits = PathEvaluator(RStar(label("n")), registry).forward(
+            graph, Oid("a"))
+        assert hits == {Oid("a"), Oid("b")}
+
+    def test_backward(self, diamond, registry):
+        evaluator = PathEvaluator(RConcat((label("x"), label("y"))),
+                                  registry)
+        assert evaluator.backward(diamond, Oid("d")) == {Oid("a")}
+
+    def test_backward_from_atom(self, diamond, registry):
+        evaluator = PathEvaluator(label("w"), registry)
+        assert evaluator.backward(diamond, Atom.string("leaf")) == \
+            {Oid("d")}
+
+    def test_pairs(self, diamond, registry):
+        pairs = PathEvaluator(label("x"), registry).pairs(diamond)
+        assert pairs == {(Oid("a"), Oid("b")), (Oid("a"), Oid("c"))}
+
+    def test_connects(self, diamond, registry):
+        evaluator = PathEvaluator(RStar(RLabel(AnyLabel())), registry)
+        assert evaluator.connects(diamond, Oid("a"), Oid("d"))
+        assert not evaluator.connects(diamond, Oid("d"), Oid("a"))
+
+    def test_label_predicate(self, diamond, registry):
+        registry = registry.copy()
+        registry.register("isXish", lambda lbl: str(lbl) in ("x", "y"))
+        expr = RStar(RLabel(LabelPredicate("isXish")))
+        hits = PathEvaluator(expr, registry).forward(diamond, Oid("a"))
+        assert hits == {Oid("a"), Oid("b"), Oid("c"), Oid("d")}
+
+    def test_unknown_predicate_raises(self, diamond, registry):
+        evaluator = PathEvaluator(RLabel(LabelPredicate("nope")), registry)
+        with pytest.raises(UnknownPredicateError):
+            evaluator.forward(diamond, Oid("a"))
+
+    def test_empty_path_on_atom_origin(self, diamond, registry):
+        evaluator = PathEvaluator(RStar(label("x")), registry)
+        hits = evaluator.forward(diamond, Atom.string("leaf"))
+        assert hits == {Atom.string("leaf")}
+
+    def test_nested_star(self, registry):
+        graph = Graph("g")
+        graph.add_edge(Oid("a"), "s", Oid("b"))
+        graph.add_edge(Oid("b"), "t", Oid("c"))
+        expr = RStar(RAlt((label("s"), label("t"))))
+        hits = PathEvaluator(expr, registry).forward(graph, Oid("a"))
+        assert hits == {Oid("a"), Oid("b"), Oid("c")}
+
+    def test_memoized_label_tests_shared(self, diamond, registry):
+        evaluator = PathEvaluator(label("x"), registry)
+        first = evaluator.forward(diamond, Oid("a"))
+        second = evaluator.forward(diamond, Oid("a"))
+        assert first == second

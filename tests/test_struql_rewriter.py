@@ -1,0 +1,129 @@
+"""Query rewriting: flattening, decomposition helpers, composition."""
+
+import pytest
+
+from repro.graph import Atom, Graph, Oid
+from repro.repository import Repository
+from repro.struql import QueryEngine, parse_query
+from repro.struql.rewriter import (
+    compose,
+    creating_units,
+    flatten,
+    linking_units,
+    run_pipeline,
+)
+from repro.sites.homepage import FIG3_QUERY
+
+
+class TestFlatten:
+    def test_unit_labels_match_fig5(self, fig3_query):
+        labels = [u.label for u in flatten(fig3_query)]
+        assert labels == ["true", "Q1", "Q1 ^ Q2", "Q1 ^ Q3"]
+
+    def test_conditions_accumulate(self, fig3_query):
+        units = flatten(fig3_query)
+        q1 = next(u for u in units if u.label == "Q1")
+        q12 = next(u for u in units if u.label == "Q1 ^ Q2")
+        assert len(q12.conditions) == len(q1.conditions) + 1
+
+    def test_depth_tracked(self, fig3_query):
+        units = flatten(fig3_query)
+        assert [u.depth for u in units] == [0, 1, 2, 2]
+
+    def test_accepts_text(self):
+        units = flatten("input G where A(x) create F(x) output O")
+        assert len(units) == 1 and units[0].is_constructive
+
+    def test_creating_units(self, fig3_query):
+        units = flatten(fig3_query)
+        hits = creating_units(units, "YearPage")
+        assert [u.label for u in hits] == ["Q1 ^ Q2"]
+
+    def test_linking_units(self, fig3_query):
+        units = flatten(fig3_query)
+        hits = linking_units(units, "RootPage")
+        labels = {(unit.label, str(link.label)) for unit, link in hits}
+        assert labels == {("true", '"AbstractsPage"'),
+                          ("Q1 ^ Q2", '"YearPage"'),
+                          ("Q1 ^ Q3", '"CategoryPage"')}
+
+
+class TestCompose:
+    @pytest.fixture
+    def base(self) -> Graph:
+        graph = Graph("Base")
+        for name in ("a", "b"):
+            oid = Oid(name)
+            graph.add_to_collection("Items", oid)
+            graph.add_edge(oid, "name", Atom.string(name))
+        return graph
+
+    STEP1 = """
+        input Base
+        where Items(x), x -> "name" -> n
+        create Page(x)
+        link Page(x) -> "name" -> n
+        collect Pages(Page(x))
+        output Mid
+    """
+    # The suciu-site idiom: copy the whole graph, adding a nav bar.
+    STEP2 = """
+        input Mid
+        where Pages(p)
+        create Nav(), Wrapped(p)
+        link Wrapped(p) -> "content" -> p,
+             Wrapped(p) -> "nav" -> Nav(),
+             Nav() -> "home" -> Wrapped(p)
+        collect Final(Wrapped(p))
+        output Site
+    """
+
+    def test_pipeline_shares_skolems(self, base):
+        result = compose([self.STEP1, self.STEP2], base)
+        out = result.output
+        assert out.name == "Site"
+        wrapped = out.collection("Final")
+        assert len(wrapped) == 2
+        # Wrapped pages point at the *same* Page oids step 1 minted.
+        content = out.get_one(wrapped[0], "content")
+        assert content.skolem_fn == "Page"
+
+    def test_empty_pipeline_rejected(self, base):
+        with pytest.raises(ValueError):
+            compose([], base)
+
+    def test_run_pipeline_stores_intermediates(self, base):
+        repo = Repository()
+        repo.store(base)
+        result = run_pipeline([self.STEP1, self.STEP2], repo)
+        assert repo.has_graph("Mid") and repo.has_graph("Site")
+        assert result.output is repo.graph("Site")
+
+    def test_second_step_cannot_mutate_first_output_nodes(self, base):
+        # Step 2's input nodes (created by step 1) are immutable in
+        # step 2: link sources must be Skolem terms of step 2 — trying
+        # to link from the old page identity is rejected by the runtime.
+        from repro.errors import StruQLSemanticError
+        bad_step2 = """
+            input Mid
+            where Pages(p)
+            create Page(p)
+            link Page(p) -> "extra" -> p
+            output Site
+        """
+        # Page(p) where p is the Page(x) oid creates Page(Page(x)), a
+        # fresh node, so this is legal...
+        compose([self.STEP1, bad_step2], base)
+        # ...but minting a Skolem identity that already names an input
+        # node is the collision the runtime must refuse:
+        engine = QueryEngine()
+        mid = engine.evaluate(self.STEP1, base).output
+        mid.add_node(Oid.skolem("Fresh", (Atom.string("a"),)))
+        with pytest.raises(StruQLSemanticError):
+            engine.evaluate("""
+                input Mid
+                where Pages(p), p -> "name" -> n
+                create Fresh(n)
+                link Fresh(n) -> "alias" -> p
+                output Site2
+            """, mid)

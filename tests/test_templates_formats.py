@@ -1,0 +1,62 @@
+"""Type-specific HTML realization rules (formats module)."""
+
+from repro.graph import Atom, AtomType
+from repro.templates.formats import anchor, escape, realize_atom
+
+
+class TestEscape:
+    def test_escapes_html(self):
+        assert escape("<b>&\"'") == "&lt;b&gt;&amp;&quot;&#x27;"
+
+    def test_anchor(self):
+        assert anchor("a/b.ps", 'say "hi"') == \
+            '<a href="a/b.ps">say &quot;hi&quot;</a>'
+
+
+class TestRealize:
+    def test_scalars_become_text(self):
+        assert realize_atom(Atom.int(7)) == "7"
+        assert realize_atom(Atom.float(2.5)) == "2.5"
+        assert realize_atom(Atom.bool(True)) == "True"
+        assert realize_atom(Atom.string("<i>")) == "&lt;i&gt;"
+
+    def test_url_is_anchor(self):
+        html = realize_atom(Atom.url("http://x/"))
+        assert html == '<a href="http://x/">http://x/</a>'
+
+    def test_url_with_tag(self):
+        html = realize_atom(Atom.url("http://x/"), tag="Home")
+        assert ">Home</a>" in html
+
+    def test_postscript_is_anchor(self):
+        html = realize_atom(Atom.file("p.ps.gz"), tag="Paper")
+        assert html == '<a href="p.ps.gz">Paper</a>'
+
+    def test_image_is_img(self):
+        html = realize_atom(Atom.file("x.png"), tag="alt text")
+        assert html == '<img src="x.png" alt="alt text">'
+
+    def test_image_without_tag(self):
+        assert realize_atom(Atom.file("x.png")) == \
+            '<img src="x.png" alt="">'
+
+    def test_force_link_format(self):
+        html = realize_atom(Atom.string("plain"), format="LINK")
+        assert html == '<a href="plain">plain</a>'
+
+    def test_text_file_with_loader_escaped(self):
+        html = realize_atom(Atom.file("a.txt"),
+                            loader=lambda p: "<raw> content")
+        assert html == "&lt;raw&gt; content"
+
+    def test_html_file_with_loader_raw(self):
+        html = realize_atom(Atom.file("a.html"),
+                            loader=lambda p: "<b>bold</b>")
+        assert html == "<b>bold</b>"  # it IS html: inlined verbatim
+
+    def test_file_without_loader_shows_path(self):
+        assert realize_atom(Atom.file("dir/a.txt")) == "dir/a.txt"
+
+    def test_loader_returning_none_falls_back(self):
+        assert realize_atom(Atom.file("a.txt"),
+                            loader=lambda p: None) == "a.txt"

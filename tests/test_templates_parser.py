@@ -1,0 +1,209 @@
+"""The HTML-template language parser (Fig 6 grammar)."""
+
+import pytest
+
+from repro.errors import TemplateSyntaxError
+from repro.graph import Atom
+from repro.templates import parse_template
+from repro.templates.ast import (
+    AndCond,
+    AttrExpr,
+    CmpCond,
+    Constant,
+    ExistsCond,
+    ForExpr,
+    FormatExpr,
+    IfExpr,
+    ListExpr,
+    NotCondT,
+    Null,
+    OrCond,
+    Text,
+)
+
+
+def parse(text: str):
+    return parse_template("t", text).nodes
+
+
+class TestPlainText:
+    def test_passthrough(self):
+        nodes = parse("<html><b>bold</b></html>")
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], Text)
+
+    def test_interleaving(self):
+        nodes = parse("a<SFMT @x>b<SFMT @y>c")
+        kinds = [type(n).__name__ for n in nodes]
+        assert kinds == ["Text", "FormatExpr", "Text", "FormatExpr",
+                         "Text"]
+
+    def test_case_insensitive_tags(self):
+        nodes = parse("<sfmt @x>")
+        assert isinstance(nodes[0], FormatExpr)
+
+    def test_ordinary_angle_brackets_untouched(self):
+        nodes = parse("<p>if x < 3 then</p>")
+        assert isinstance(nodes[0], Text)
+
+
+class TestSfmt:
+    def test_simple(self):
+        (node,) = parse("<SFMT @title>")
+        assert node.expr == AttrExpr(("title",))
+        assert node.format is None and node.tag is None
+
+    def test_dotted_path(self):
+        (node,) = parse("<SFMT @Paper.Name>")
+        assert node.expr.segments == ("Paper", "Name")
+
+    def test_format_embed(self):
+        (node,) = parse("<SFMT @x FORMAT=EMBED>")
+        assert node.format == "EMBED"
+
+    def test_format_link(self):
+        (node,) = parse("<SFMT @x format=link>")
+        assert node.format == "LINK"
+
+    def test_bad_format(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFMT @x FORMAT=FANCY>")
+
+    def test_tag_string(self):
+        (node,) = parse('<SFMT @ps TAG="Download">')
+        assert node.tag == "Download"
+
+    def test_tag_attr_expr(self):
+        (node,) = parse("<SFMT @ps TAG=@title>")
+        assert node.tag == AttrExpr(("title",))
+
+    def test_unknown_option(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFMT @x COLOR=red>")
+
+    def test_missing_expr(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFMT FORMAT=EMBED>")
+
+
+class TestSif:
+    def test_bare_exists(self):
+        (node,) = parse("<SIF @journal>J</SIF>")
+        assert isinstance(node, IfExpr)
+        assert node.cond == ExistsCond(AttrExpr(("journal",)))
+        assert isinstance(node.then[0], Text)
+        assert node.orelse == []
+
+    def test_else_branch(self):
+        (node,) = parse("<SIF @a>yes<SELSE>no</SIF>")
+        assert node.then[0].text == "yes"
+        assert node.orelse[0].text == "no"
+
+    def test_comparison(self):
+        (node,) = parse('<SIF @type = "article">A</SIF>')
+        assert node.cond == CmpCond(AttrExpr(("type",)), "=",
+                                    Constant(Atom.string("article")))
+
+    def test_null_comparison(self):
+        (node,) = parse("<SIF @month = NULL>none</SIF>")
+        assert node.cond.right == Null()
+
+    def test_parenthesized_ordering(self):
+        (node,) = parse("<SIF (@year > 1997)>recent</SIF>")
+        assert node.cond.op == ">"
+        assert node.cond.right == Constant(Atom.int(1997))
+
+    def test_and_or_not(self):
+        (node,) = parse("<SIF @a AND NOT @b OR @c>x</SIF>")
+        assert isinstance(node.cond, OrCond)
+        assert isinstance(node.cond.left, AndCond)
+        assert isinstance(node.cond.left.right, NotCondT)
+
+    def test_nested_ifs(self):
+        (node,) = parse("<SIF @a><SIF @b>both</SIF></SIF>")
+        assert isinstance(node.then[0], IfExpr)
+
+    def test_missing_closer(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SIF @a>unclosed")
+
+    def test_stray_selse(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("text<SELSE>more")
+
+    def test_stray_closer(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("</SIF>")
+
+    def test_constant_alone_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SIF 3>x</SIF>")
+
+    def test_boolean_constants(self):
+        (node,) = parse("<SIF @flag = TRUE>x</SIF>")
+        assert node.cond.right == Constant(Atom.bool(True))
+
+
+class TestSfor:
+    def test_basic(self):
+        (node,) = parse("<SFOR a @author><SFMT @a></SFOR>")
+        assert isinstance(node, ForExpr)
+        assert node.var == "a" and node.expr == AttrExpr(("author",))
+        assert isinstance(node.body[0], FormatExpr)
+
+    def test_optional_in_keyword(self):
+        (node,) = parse("<SFOR a IN @author>x</SFOR>")
+        assert node.var == "a"
+
+    def test_options(self):
+        (node,) = parse(
+            '<SFOR y @YearPage ORDER=descend KEY=Year DELIM=", ">'
+            "<SFMT @y></SFOR>")
+        assert node.order == "descend"
+        assert node.key == "Year"
+        assert node.delim == ", "
+
+    def test_bad_order(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFOR a @x ORDER=sideways>y</SFOR>")
+
+    def test_missing_closer(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFOR a @x>body")
+
+
+class TestSfmtList:
+    def test_basic(self):
+        (node,) = parse("<SFMTLIST @YearPage>")
+        assert isinstance(node, ListExpr)
+        assert node.wrap is None
+
+    def test_wrap_variants(self):
+        assert parse("<SFMTLIST @x WRAP=UL>")[0].wrap == "UL"
+        assert parse("<SFMTLIST @x WRAP=ol>")[0].wrap == "OL"
+        assert parse("<SFMTLIST @x WRAP=NONE>")[0].wrap is None
+
+    def test_bad_wrap(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse("<SFMTLIST @x WRAP=TABLE>")
+
+    def test_full_options(self):
+        (node,) = parse('<SFMTLIST @p FORMAT=EMBED ORDER=ascend KEY=year '
+                        'DELIM="<HR>" TAG=@title>')
+        assert node.format == "EMBED"
+        assert node.order == "ascend"
+        assert node.delim == "<HR>"
+        assert node.tag == AttrExpr(("title",))
+
+
+class TestTemplateObject:
+    def test_walk_covers_nesting(self):
+        template = parse_template("t", "<SIF @a><SFOR x @b>"
+                                       "<SFMT @x></SFOR></SIF>")
+        kinds = [type(n).__name__ for n in template.walk()]
+        assert kinds == ["IfExpr", "ForExpr", "FormatExpr"]
+
+    def test_source_retained(self):
+        source = "line1\nline2 <SFMT @x>"
+        template = parse_template("t", source)
+        assert template.source == source

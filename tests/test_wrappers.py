@@ -1,0 +1,402 @@
+"""Source wrappers: BibTeX, relational, structured files, HTML, XML."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.graph import Atom, AtomType, Oid
+from repro.wrappers import (
+    BibTexWrapper,
+    HtmlWrapper,
+    RelationalWrapper,
+    StructuredFileWrapper,
+    XmlWrapper,
+)
+
+BIB = r"""
+@string{toplas = "Transactions on Programming Languages"}
+
+@article{ramsey97,
+  title = {Specifying {Representations} of Machine Instructions},
+  author = {Norman Ramsey and Mary Fernandez},
+  journal = toplas,
+  year = 1997,
+  month = {May},
+  abstract = {abstracts/toplas97.txt},
+  postscript = {papers/toplas97.ps.gz},
+  keywords = {Architecture Specifications, Programming Languages}
+}
+
+@inproceedings{fs98,
+  title = "Optimizing Regular Path Expressions",
+  author = "Mary Fernandez and Dan Suciu",
+  booktitle = "Proc. of " # "ICDE",
+  year = 1998
+}
+
+@comment{ this is ignored }
+"""
+
+
+class TestBibTex:
+    @pytest.fixture
+    def graph(self):
+        return BibTexWrapper().wrap(BIB)
+
+    def test_entries_in_collection(self, graph):
+        assert graph.collection("Publications") == [Oid("ramsey97"),
+                                                    Oid("fs98")]
+
+    def test_authors_split(self, graph):
+        authors = [str(a) for a in graph.get(Oid("ramsey97"), "author")]
+        assert authors == ["Norman Ramsey", "Mary Fernandez"]
+
+    def test_string_macro_expansion(self, graph):
+        journal = graph.get_one(Oid("ramsey97"), "journal")
+        assert str(journal) == "Transactions on Programming Languages"
+
+    def test_concatenation(self, graph):
+        assert str(graph.get_one(Oid("fs98"), "booktitle")) == \
+            "Proc. of ICDE"
+
+    def test_year_is_int(self, graph):
+        assert graph.get_one(Oid("ramsey97"), "year") == Atom.int(1997)
+
+    def test_file_fields_typed(self, graph):
+        ps = graph.get_one(Oid("ramsey97"), "postscript")
+        assert ps.type is AtomType.POSTSCRIPT_FILE
+        abstract = graph.get_one(Oid("ramsey97"), "abstract")
+        assert abstract.type is AtomType.TEXT_FILE
+
+    def test_keywords_become_categories(self, graph):
+        categories = [str(c) for c in graph.get(Oid("ramsey97"),
+                                                "category")]
+        assert categories == ["Architecture Specifications",
+                              "Programming Languages"]
+
+    def test_pub_type_recorded(self, graph):
+        assert str(graph.get_one(Oid("ramsey97"), "pub-type")) == "article"
+        assert str(graph.get_one(Oid("fs98"), "pub-type")) == \
+            "inproceedings"
+
+    def test_braces_stripped_in_titles(self, graph):
+        title = str(graph.get_one(Oid("ramsey97"), "title"))
+        assert "{" not in title and "Representations" in title
+
+    def test_irregularity_preserved(self, graph):
+        # The semistructured point: no month/journal on the second entry.
+        assert graph.get_one(Oid("fs98"), "month") is None
+        assert graph.get_one(Oid("fs98"), "journal") is None
+
+    def test_unterminated_entry(self):
+        with pytest.raises(WrapperError):
+            BibTexWrapper().wrap("@article{x, title = {unclosed")
+
+    def test_paren_delimited_entry(self):
+        graph = BibTexWrapper().wrap("@article(k, year = 1990)")
+        assert graph.get_one(Oid("k"), "year") == Atom.int(1990)
+
+
+PEOPLE_CSV = """login,name,phone,org,projects
+mff,Mary Fernandez,973-1111,org1,strudel;tangram
+suciu,Dan Suciu,,org1,strudel
+levy,Alon Levy,973-3333,org2,
+"""
+
+ORGS_CSV = """id,name
+org1,Database Research
+org2,AI Research
+"""
+
+
+class TestRelational:
+    @pytest.fixture
+    def graph(self):
+        wrapper = RelationalWrapper(
+            key_columns={"People": "login", "Orgs": "id"},
+            foreign_keys={("People", "org"): "Orgs"})
+        return wrapper.wrap_tables({"People": PEOPLE_CSV,
+                                    "Orgs": ORGS_CSV})
+
+    def test_rows_become_objects(self, graph):
+        assert len(graph.collection("People")) == 3
+        assert len(graph.collection("Orgs")) == 2
+
+    def test_null_cells_missing_attributes(self, graph):
+        # suciu has no phone: the attribute is absent, not empty.
+        assert graph.get_one(Oid("People_suciu"), "phone") is None
+        assert graph.get_one(Oid("People_mff"), "phone") is not None
+
+    def test_foreign_keys_become_references(self, graph):
+        org = graph.get_one(Oid("People_mff"), "org")
+        assert org == Oid("Orgs_org1")
+
+    def test_multivalued_cells_split(self, graph):
+        projects = [str(p) for p in graph.get(Oid("People_mff"),
+                                              "projects")]
+        assert projects == ["strudel", "tangram"]
+
+    def test_dangling_foreign_key(self):
+        wrapper = RelationalWrapper(
+            key_columns={"People": "login"},
+            foreign_keys={("People", "org"): "Orgs"})
+        with pytest.raises(WrapperError):
+            wrapper.wrap_tables({
+                "People": "login,org\nx,missing\n",
+                "Orgs": "id,name\n",
+            })
+
+    def test_missing_key_rejected(self):
+        wrapper = RelationalWrapper(key_columns={"T": "id"})
+        with pytest.raises(WrapperError):
+            wrapper.wrap_tables({"T": "id,x\n,1\n"})
+
+    def test_table_directive(self):
+        graph = RelationalWrapper().wrap("#table Pets\nname\nrex\n")
+        assert len(graph.collection("Pets")) == 1
+
+    def test_numeric_typing(self):
+        graph = RelationalWrapper().wrap("#table T\nn,f\n3,2.5\n")
+        row = graph.collection("T")[0]
+        assert graph.get_one(row, "n") == Atom.int(3)
+        assert graph.get_one(row, "f") == Atom.float(2.5)
+
+
+RECORDS = """
+# project data
+id: strudel
+name: STRUDEL
+member: mff
+member: suciu
+synopsis: Web-site management.
+
+id: tangram
+name: TANGRAM
+lead: ref:strudel
+"""
+
+
+class TestStructuredFile:
+    @pytest.fixture
+    def graph(self):
+        return StructuredFileWrapper(collection="Projects").wrap(RECORDS)
+
+    def test_records_split_on_blank_lines(self, graph):
+        assert len(graph.collection("Projects")) == 2
+
+    def test_repeated_keys_multivalued(self, graph):
+        members = [str(m) for m in graph.get(Oid("Projects_strudel"),
+                                             "member")]
+        assert members == ["mff", "suciu"]
+
+    def test_missing_synopsis_is_missing(self, graph):
+        assert graph.get_one(Oid("Projects_tangram"), "synopsis") is None
+
+    def test_references(self, graph):
+        assert graph.get_one(Oid("Projects_tangram"), "lead") == \
+            Oid("Projects_strudel")
+
+    def test_comments_skipped(self, graph):
+        assert graph.node_count == 2
+
+    def test_dangling_reference(self):
+        with pytest.raises(WrapperError):
+            StructuredFileWrapper().wrap("id: a\nx: ref:nope\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(WrapperError):
+            StructuredFileWrapper().wrap("no colon here\n")
+
+    def test_anonymous_records_numbered(self):
+        graph = StructuredFileWrapper(collection="R").wrap(
+            "a: 1\n\nb: 2\n")
+        assert len(graph.collection("R")) == 2
+
+
+PAGE_A = """<html><head><title>Page A</title>
+<meta name="section" content="sports"></head>
+<body><h1>Big game</h1><p>Lots of text.</p>
+<a href="b.html">see B</a><a href="http://elsewhere/">out</a>
+<img src="photo.jpg"></body></html>"""
+
+PAGE_B = "<html><head><title>Page B</title></head><body>B body</body></html>"
+
+
+class TestHtml:
+    @pytest.fixture
+    def graph(self):
+        return HtmlWrapper().wrap_pages({"a.html": PAGE_A,
+                                         "b.html": PAGE_B})
+
+    def test_pages_collection(self, graph):
+        assert len(graph.collection("Pages")) == 2
+
+    def test_title_and_heading(self, graph):
+        assert str(graph.get_one(Oid("a.html"), "title")) == "Page A"
+        assert str(graph.get_one(Oid("a.html"), "heading")) == "Big game"
+
+    def test_internal_links_resolve_to_nodes(self, graph):
+        targets = graph.get(Oid("a.html"), "link")
+        assert Oid("b.html") in targets
+
+    def test_external_links_are_urls(self, graph):
+        urls = [t for t in graph.get(Oid("a.html"), "link")
+                if isinstance(t, Atom)]
+        assert urls and urls[0].type is AtomType.URL
+
+    def test_images_typed(self, graph):
+        image = graph.get_one(Oid("a.html"), "image")
+        assert image.type is AtomType.IMAGE_FILE
+
+    def test_meta_attributes(self, graph):
+        assert str(graph.get_one(Oid("a.html"), "meta-section")) == \
+            "sports"
+
+    def test_text_collected(self, graph):
+        assert "Lots of text." in str(graph.get_one(Oid("a.html"), "text"))
+
+    def test_script_content_excluded(self):
+        graph = HtmlWrapper().wrap(
+            "<html><body><script>var x;</script>visible</body></html>")
+        page = graph.collection("Pages")[0]
+        assert "var x" not in str(graph.get_one(page, "text"))
+
+
+XML = """<lab id="lab1" city="Florham Park">
+  <project id="strudel" year="1996">
+    <member>mff</member>
+    <member>suciu</member>
+  </project>
+</lab>"""
+
+
+class TestXml:
+    @pytest.fixture
+    def graph(self):
+        return XmlWrapper().wrap(XML)
+
+    def test_elements_become_nodes(self, graph):
+        assert graph.has_node(Oid("lab1"))
+        assert graph.has_node(Oid("strudel"))
+
+    def test_attributes(self, graph):
+        assert str(graph.get_one(Oid("lab1"), "city")) == "Florham Park"
+        assert graph.get_one(Oid("strudel"), "year") == Atom.int(1996)
+
+    def test_children_linked_by_tag(self, graph):
+        assert graph.get_one(Oid("lab1"), "project") == Oid("strudel")
+
+    def test_text_content(self, graph):
+        members = graph.get(Oid("strudel"), "member")
+        texts = [str(graph.get_one(m, "text")) for m in members]
+        assert texts == ["mff", "suciu"]
+
+    def test_collections_by_tag(self, graph):
+        assert graph.in_collection("Lab", Oid("lab1"))
+        assert graph.in_collection("Project", Oid("strudel"))
+
+    def test_malformed_xml(self):
+        with pytest.raises(WrapperError):
+            XmlWrapper().wrap("<unclosed>")
+
+
+class TestOrderedAuthors:
+    """The section 5.2 order solution: integer keys on authors."""
+
+    BIB = "@article{k, author={Z Last and A First and M Middle}, year=1}"
+
+    def test_author_objects_with_rank_keys(self):
+        graph = BibTexWrapper(ordered_authors=True).wrap(self.BIB)
+        authors = graph.get(Oid("k"), "author")
+        assert all(isinstance(a, Oid) for a in authors)
+        names = [str(graph.get_one(a, "name")) for a in authors]
+        keys = [graph.get_one(a, "key").value for a in authors]
+        assert names == ["Z Last", "A First", "M Middle"]
+        assert keys == [1, 2, 3]
+
+    def test_template_order_by_key(self):
+        from repro.templates import HtmlGenerator, TemplateSet
+        graph = BibTexWrapper(ordered_authors=True).wrap(self.BIB)
+        templates = TemplateSet()
+        templates.add("k", '<SFOR a @author ORDER=ascend KEY=key '
+                           'DELIM=", "><SFMT @a.name></SFOR>')
+        html = HtmlGenerator(graph, templates).render(Oid("k"))
+        assert html == "Z Last, A First, M Middle"
+
+    def test_reversed_rendering_possible(self):
+        from repro.templates import HtmlGenerator, TemplateSet
+        graph = BibTexWrapper(ordered_authors=True).wrap(self.BIB)
+        templates = TemplateSet()
+        templates.add("k", '<SFOR a @author ORDER=descend KEY=key '
+                           'DELIM="; "><SFMT @a.name></SFOR>')
+        html = HtmlGenerator(graph, templates).render(Oid("k"))
+        assert html == "M Middle; A First; Z Last"
+
+    def test_default_mode_unchanged(self):
+        graph = BibTexWrapper().wrap(self.BIB)
+        authors = graph.get(Oid("k"), "author")
+        assert all(not isinstance(a, Oid) for a in authors)
+
+
+JSON_DOC = """
+[
+  {"id": "p1", "title": "One", "year": 1997, "score": 4.5,
+   "tags": ["db", "web"], "active": true, "nothing": null,
+   "venue": {"name": "SIGMOD", "url": "http://sigmod.org/"},
+   "paper": "papers/one.ps"},
+  {"id": "p2", "title": "Two"}
+]
+"""
+
+
+class TestJsonWrapper:
+    @pytest.fixture
+    def graph(self):
+        from repro.wrappers import JsonWrapper
+        return JsonWrapper(collection="Pubs").wrap(JSON_DOC)
+
+    def test_array_elements_join_collection(self, graph):
+        assert [str(m) for m in graph.collection("Pubs")] == ["p1", "p2"]
+
+    def test_scalar_typing(self, graph):
+        p1 = Oid("p1")
+        assert graph.get_one(p1, "year") == Atom.int(1997)
+        assert graph.get_one(p1, "score") == Atom.float(4.5)
+        assert graph.get_one(p1, "active") == Atom.bool(True)
+        assert graph.get_one(p1, "paper").type is \
+            AtomType.POSTSCRIPT_FILE
+
+    def test_arrays_become_multivalued(self, graph):
+        tags = [str(t) for t in graph.get(Oid("p1"), "tags")]
+        assert tags == ["db", "web"]
+
+    def test_null_means_missing(self, graph):
+        assert graph.get_one(Oid("p1"), "nothing") is None
+
+    def test_nested_object(self, graph):
+        venue = graph.get_one(Oid("p1"), "venue")
+        assert isinstance(venue, Oid)
+        assert str(graph.get_one(venue, "name")) == "SIGMOD"
+        assert graph.get_one(venue, "url").type is AtomType.URL
+
+    def test_irregular_objects(self, graph):
+        assert graph.get_one(Oid("p2"), "year") is None
+
+    def test_single_object_document(self):
+        from repro.wrappers import JsonWrapper
+        graph = JsonWrapper().wrap('{"id": "only", "x": 1}')
+        assert graph.collection("Items") == [Oid("only")]
+
+    def test_malformed_json(self):
+        from repro.wrappers import JsonWrapper
+        with pytest.raises(WrapperError):
+            JsonWrapper().wrap("{broken")
+
+    def test_scalar_toplevel_rejected(self):
+        from repro.wrappers import JsonWrapper
+        with pytest.raises(WrapperError):
+            JsonWrapper().wrap("42")
+
+    def test_array_of_scalars_rejected(self):
+        from repro.wrappers import JsonWrapper
+        with pytest.raises(WrapperError):
+            JsonWrapper().wrap("[1, 2]")
