@@ -4,16 +4,58 @@ Besides pytest-benchmark timings, every experiment records
 paper-vs-measured rows through the ``experiment`` fixture; a terminal
 summary prints them as tables at the end of the run, which is the
 console form of EXPERIMENTS.md.
+
+Every benchmark session also runs with the observability layer
+(:mod:`repro.obs`) enabled: each test body becomes a top-level span, so
+per-phase timings plus the pipeline's counters and latency histograms
+are written to ``BENCH_obs.json`` at the end of the run for
+cross-run comparison.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections import OrderedDict
 
 import pytest
 
+from repro import obs
+
 #: experiment id -> list of row dicts, in insertion order.
 _REPORT: "OrderedDict[str, list[dict]]" = OrderedDict()
+
+_RECORDER: obs.TraceRecorder | None = None
+
+
+def pytest_configure(config):
+    global _RECORDER
+    _RECORDER = obs.enable()
+
+
+@pytest.fixture(autouse=True)
+def _obs_phase(request):
+    """Wrap each benchmark test in a span named after it."""
+    with obs.timed(request.node.name, module=request.module.__name__):
+        yield
+
+
+def pytest_sessionfinish(session):
+    global _RECORDER
+    if _RECORDER is None:
+        return
+    path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")
+    # Depth 3 = test span + pipeline stage + first detail level; the
+    # full forest for a benchmark session runs to tens of MB.
+    document = obs.export_state(_RECORDER, max_depth=3)
+    document["phases"] = [
+        {"phase": root.name, "seconds": root.seconds,
+         **root.attributes}
+        for root in _RECORDER.roots]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    obs.disable()
+    _RECORDER = None
 
 
 class ExperimentRecorder:

@@ -30,6 +30,9 @@ Subsystems (see DESIGN.md for the full inventory):
 * :mod:`repro.templates` — the HTML-template language and generator;
 * :mod:`repro.site` — site builder, site schemas, verification,
   click-time evaluation and the dynamic page server;
+* :mod:`repro.obs` — the observability layer: span tracing, metrics
+  (counters/gauges/histograms) and JSON/text exporters shared by every
+  stage above;
 * :mod:`repro.datagen` — seeded synthetic workloads.
 """
 

@@ -11,6 +11,7 @@ without writing Python:
     $ python -m repro check  --query site.struql
     $ python -m repro diff   --query site.struql --data pubs.bib \\
           --old-site site.json
+    $ python -m repro trace [--metrics-out obs.json] build --data ...
 
 Data files are wrapped by extension:
 
@@ -42,6 +43,7 @@ from repro.ddl import parse_ddl
 from repro.errors import StrudelError
 from repro.graph.model import Graph
 from repro.graph.serialization import graph_from_json, graph_to_json
+from repro.obs import trace as obs
 from repro.site.schema import build_site_schema
 from repro.site.verify import ReachableFromRoot, Verifier
 from repro.struql.analysis import analyze
@@ -90,16 +92,22 @@ def load_data_file(path: str) -> Graph:
 
 def load_data(paths: list[str], graph_name: str) -> Graph:
     """Wrap and merge all ``--data`` files into one graph."""
+    recorder = obs.get_recorder()
     merged = Graph(graph_name)
     html_pages: dict[str, str] = {}
-    for path in paths:
-        if os.path.splitext(path)[1].lower() in (".html", ".htm"):
-            with open(path, encoding="utf-8") as handle:
-                html_pages[os.path.basename(path)] = handle.read()
-            continue
-        merged.import_graph(load_data_file(path))
-    if html_pages:
-        merged.import_graph(HtmlWrapper().wrap_pages(html_pages))
+    with recorder.span("mediator.load", files=len(paths)) as span:
+        for path in paths:
+            if os.path.splitext(path)[1].lower() in (".html", ".htm"):
+                with open(path, encoding="utf-8") as handle:
+                    html_pages[os.path.basename(path)] = handle.read()
+                continue
+            with recorder.span("mediator.fetch",
+                               source=os.path.basename(path)):
+                merged.import_graph(load_data_file(path))
+        if html_pages:
+            with recorder.span("mediator.fetch", source="html-pages"):
+                merged.import_graph(HtmlWrapper().wrap_pages(html_pages))
+        span.set(nodes=merged.node_count, edges=merged.edge_count)
     return merged
 
 
@@ -198,6 +206,43 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.empty else 3
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run another command with the observability layer enabled.
+
+    Prints the span tree and a metrics digest afterwards;
+    ``--metrics-out`` additionally writes the full JSON document
+    (bench-compatible: the same shape ``BENCH_obs.json`` uses).
+    """
+    from repro.obs.export import render_metrics, render_tree, write_json
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("error: trace needs a command to run, e.g. "
+              "'repro trace build ...'", file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("error: trace cannot wrap itself", file=sys.stderr)
+        return 2
+    with obs.recording() as recorder:
+        code = main(rest)
+    print()
+    print("== trace " + "=" * 54)
+    print(render_tree(recorder))
+    print()
+    print("== metrics " + "=" * 52)
+    print(render_metrics(recorder.metrics))
+    if args.metrics_out:
+        try:
+            write_json(recorder, args.metrics_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return code or 1
+        print(f"\nobservability JSON saved to {args.metrics_out}")
+    return code
+
+
 def make_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -244,6 +289,14 @@ def make_parser() -> argparse.ArgumentParser:
     diff.add_argument("--old-site", required=True,
                       help="JSON site graph from a previous build")
     diff.set_defaults(fn=cmd_diff)
+
+    trace = sub.add_parser(
+        "trace", help="run a command with tracing + metrics enabled")
+    trace.add_argument("--metrics-out",
+                       help="write the spans+metrics JSON document here")
+    trace.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="the command to run, e.g. build --data ...")
+    trace.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro.errors import MediatorError
 from repro.graph.model import Graph
+from repro.obs.trace import get_recorder
 from repro.repository.repository import Repository
 from repro.struql.ast import Query
 from repro.struql.evaluator import QueryEngine
@@ -92,13 +93,27 @@ class Mediator:
         """Load every source and run every mapping into a fresh graph."""
         if not self._mappings:
             raise MediatorError("no GAV mappings registered")
+        recorder = get_recorder()
         mediated = Graph(self.mediated_name)
         skolem = SkolemRegistry()
-        for mapping in self._mappings:
-            source_graph = self.source(mapping.input_name).load()
-            self.engine.evaluate(mapping, source_graph, output=mediated,
-                                 skolem=skolem)
+        with recorder.span("mediator.integrate",
+                           output=self.mediated_name,
+                           mappings=len(self._mappings)):
+            for mapping in self._mappings:
+                with recorder.span("mediator.fetch",
+                                   source=mapping.input_name) as span:
+                    source_graph = self.source(mapping.input_name).load()
+                    span.set(nodes=source_graph.node_count,
+                             edges=source_graph.edge_count)
+                with recorder.span("mediator.map",
+                                   source=mapping.input_name):
+                    self.engine.evaluate(mapping, source_graph,
+                                         output=mediated, skolem=skolem)
         return mediated
+
+    def _count_build(self, kind: str) -> None:
+        self.stats[kind] += 1
+        get_recorder().metrics.counter(f"mediator.{kind}").inc()
 
     def warehouse(self) -> Graph:
         """The warehoused mediated graph (built once, then cached)."""
@@ -106,7 +121,7 @@ class Mediator:
             self._warehouse = self._integrate()
             self._warehouse_versions = {
                 name: src.version for name, src in self._sources.items()}
-            self.stats["warehouse_builds"] += 1
+            self._count_build("warehouse_builds")
         return self._warehouse
 
     def refresh(self) -> Graph:
@@ -123,7 +138,7 @@ class Mediator:
 
     def virtual_view(self) -> Graph:
         """A freshly integrated graph (virtual mode: no caching)."""
-        self.stats["virtual_builds"] += 1
+        self._count_build("virtual_builds")
         return self._integrate()
 
     # -- repository plumbing ---------------------------------------------------------

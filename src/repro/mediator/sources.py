@@ -16,6 +16,7 @@ from typing import Callable
 
 from repro.errors import AccessPatternError, MediatorError
 from repro.graph.model import Graph
+from repro.obs.trace import get_recorder
 
 #: Produces a source's current graph.  Parameterless for ordinary
 #: sources; limited-access sources receive keyword parameters.
@@ -36,7 +37,10 @@ class DataSource:
     def load(self, **parameters) -> Graph:
         """Fetch the source's current contents as a graph."""
         self.load_count += 1
-        graph = self._loader(**parameters)
+        recorder = get_recorder()
+        with recorder.span("source.load", source=self.name):
+            graph = self._loader(**parameters)
+        recorder.metrics.counter("mediator.source_loads").inc()
         graph.name = self.name
         return graph
 

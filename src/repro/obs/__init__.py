@@ -1,0 +1,81 @@
+"""Observability: spans, metrics, exporters.
+
+The shared instrumentation layer every pipeline stage reports through —
+see :mod:`repro.obs.trace` for the span/recorder model,
+:mod:`repro.obs.metrics` for counters/gauges/histograms, and
+:mod:`repro.obs.export` for the JSON and text exporters.  The global
+recorder defaults to a no-op; ``repro trace <command>`` or
+:func:`repro.obs.recording` turn collection on.
+"""
+
+from repro.obs.export import (
+    export_state,
+    from_json,
+    render_metrics,
+    render_tree,
+    span_from_dict,
+    span_to_dict,
+    to_json,
+    write_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TimedResult,
+    TraceRecorder,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_recorder,
+    histogram,
+    recording,
+    set_recorder,
+    span,
+    timed,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_RECORDER",
+    "NullMetricsRegistry",
+    "NullRecorder",
+    "Span",
+    "TimedResult",
+    "TraceRecorder",
+    "counter",
+    "disable",
+    "enable",
+    "export_state",
+    "from_json",
+    "gauge",
+    "get_recorder",
+    "histogram",
+    "recording",
+    "render_metrics",
+    "render_tree",
+    "set_recorder",
+    "span",
+    "span_from_dict",
+    "span_to_dict",
+    "timed",
+    "to_json",
+    "traced",
+    "write_json",
+]

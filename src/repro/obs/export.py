@@ -1,0 +1,154 @@
+"""Exporters for recorded traces and metrics.
+
+Two output shapes:
+
+* :func:`export_state` / :func:`to_json` — a plain-data document
+  (``{"spans": [...], "metrics": {...}}``) that benchmark harnesses can
+  write next to their timing tables and diff across runs;
+* :func:`render_tree` — a human-readable span tree with millisecond
+  durations and attributes, the console form shown by
+  ``repro trace <command>``.
+
+:func:`from_json` reconstructs :class:`~repro.obs.trace.Span` trees from
+the JSON document, so exported traces round-trip for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.trace import NullRecorder, Span, TraceRecorder
+
+Recorder = TraceRecorder | NullRecorder
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def span_to_dict(span: Span, max_depth: int | None = None) -> dict:
+    """Plain-data form of one span subtree.
+
+    ``max_depth`` prunes the tree: ``1`` keeps only the span itself,
+    ``2`` its direct children, and so on.  Pruned subtrees are replaced
+    by a ``"pruned"`` descendant count so readers can tell truncation
+    from a genuine leaf.
+    """
+    data = {
+        "name": span.name,
+        "seconds": span.seconds,
+        "attributes": {k: _json_safe(v)
+                       for k, v in span.attributes.items()},
+        "children": [],
+    }
+    if max_depth is not None and max_depth <= 1:
+        pruned = sum(1 for c in span.children for _ in c.walk())
+        if pruned:
+            data["pruned"] = pruned
+        return data
+    deeper = None if max_depth is None else max_depth - 1
+    data["children"] = [span_to_dict(c, deeper) for c in span.children]
+    return data
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a span subtree from :func:`span_to_dict` output.
+
+    Start/end are re-anchored at zero: only durations, names,
+    attributes and structure survive the round trip.
+    """
+    span = Span(data["name"], dict(data.get("attributes", ())),
+                start=0.0, end=float(data.get("seconds", 0.0)))
+    span.children = [span_from_dict(c) for c in data.get("children", ())]
+    return span
+
+
+def export_state(recorder: Recorder,
+                 max_depth: int | None = None) -> dict:
+    """The full observability document for one recorder.
+
+    ``max_depth`` limits how deep span trees are serialized — long
+    benchmark sessions record millions of nested spans, and a pruned
+    document keeps the per-phase timings and all metrics while staying
+    diffable.
+    """
+    return {
+        "spans": [span_to_dict(root, max_depth)
+                  for root in recorder.roots],
+        "metrics": recorder.metrics.as_dict(),
+    }
+
+
+def to_json(recorder: Recorder, indent: int | None = 2) -> str:
+    """JSON text of :func:`export_state`."""
+    return json.dumps(export_state(recorder), indent=indent)
+
+
+def from_json(text: str) -> tuple[list[Span], dict]:
+    """Parse :func:`to_json` output back into spans + metrics dict."""
+    data = json.loads(text)
+    spans = [span_from_dict(d) for d in data.get("spans", ())]
+    return spans, data.get("metrics", {})
+
+
+def write_json(recorder: Recorder, path: str) -> None:
+    """Write the observability document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(recorder))
+
+
+# -- human-readable rendering --------------------------------------------------
+
+
+def _format_attrs(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{k}={_json_safe(v)}"
+                      for k, v in attributes.items())
+    return f"  {{{inner}}}"
+
+
+def _render_span(span: Span, depth: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    lines.append(f"{indent}{span.name}  {span.seconds * 1000:.2f} ms"
+                 f"{_format_attrs(span.attributes)}")
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_tree(source: Recorder | list[Span]) -> str:
+    """The span forest as an indented text tree."""
+    roots = source if isinstance(source, list) else source.roots
+    lines: list[str] = []
+    for root in roots:
+        _render_span(root, 0, lines)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def render_metrics(metrics: MetricsRegistry | NullMetricsRegistry) -> str:
+    """Counters, gauges and histogram summaries as aligned text."""
+    data = metrics.as_dict()
+    lines: list[str] = []
+    if data["counters"]:
+        lines.append("counters:")
+        width = max(len(n) for n in data["counters"])
+        for name, value in data["counters"].items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if data["gauges"]:
+        lines.append("gauges:")
+        width = max(len(n) for n in data["gauges"])
+        for name, value in data["gauges"].items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if data["histograms"]:
+        lines.append("histograms:")
+        for name, summary in data["histograms"].items():
+            lines.append(
+                f"  {name}  count={summary['count']} "
+                f"mean={summary['mean'] * 1000:.2f}ms "
+                f"p50={summary['p50'] * 1000:.2f}ms "
+                f"p90={summary['p90'] * 1000:.2f}ms "
+                f"p99={summary['p99'] * 1000:.2f}ms")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,294 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The instruments follow the conventional trio:
+
+* :class:`Counter` — monotonically increasing count (index hits, rows
+  produced, cache misses);
+* :class:`Gauge` — last-written value (index sizes, warehouse
+  staleness);
+* :class:`Histogram` — fixed-bucket distribution of observations with
+  p50/p90/p95/p99 summaries estimated by linear interpolation inside the
+  winning bucket, clamped to the observed min/max.  Memory is O(buckets)
+  however many values are observed — safe for unbounded request streams.
+
+A :class:`MetricsRegistry` names and owns instruments; the null variants
+at the bottom back the disabled global recorder so instrumented hot
+paths cost a no-op method call when observability is off.  All mutating
+paths are thread-safe.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+#: Default bucket upper bounds, in seconds: 100 µs .. 10 s, roughly
+#: geometric — sized for per-request / per-block latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile summaries."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        # One overflow bucket past the last bound.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]), interpolated.
+
+        Resolution is bounded by bucket width; estimates are clamped to
+        the observed min/max so small sample counts stay sensible.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else min(
+                    self.min, self.bounds[0])
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + fraction * max(upper - lower, 0.0)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def summary(self) -> dict:
+        """The exportable digest of this histogram."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"p50={self.p50:.6f})")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on demand)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram under ``name`` (created on demand).
+
+        ``buckets`` only applies on first creation.
+        """
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets)
+            return instrument
+
+    def reset(self) -> None:
+        """Forget every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def as_dict(self) -> dict:
+        """Plain-data form of every instrument (the JSON export shape)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.summary()
+                               for n, h in sorted(self._histograms.items())},
+            }
+
+
+# -- null instruments (the disabled fast path) --------------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+    p50 = p90 = p95 = p99 = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Hands out shared no-op instruments."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, buckets=None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def reset(self) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetricsRegistry()

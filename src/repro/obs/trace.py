@@ -1,0 +1,334 @@
+"""Hierarchical span tracing for the STRUDEL pipeline.
+
+A **span** is one timed region of work (a query block, a source fetch,
+a page render) with free-form attributes and child spans.  A
+**recorder** collects spans into per-thread trees and owns a
+:class:`~repro.obs.metrics.MetricsRegistry`, so every layer of the
+pipeline reports through one schema instead of scattered ad-hoc
+``time.perf_counter()`` pairs.
+
+The module keeps a process-global recorder that defaults to a shared
+:class:`NullRecorder`: instrumented hot paths pay only an attribute
+lookup and a no-op call when observability is off.  Enable collection
+with :func:`enable` / :func:`recording`::
+
+    from repro.obs import trace as obs
+
+    with obs.recording() as recorder:
+        site.build()
+    print(render_tree(recorder))          # from repro.obs.export
+
+Two span APIs with different disabled-cost trade-offs:
+
+* ``get_recorder().span(name, **attrs)`` — free when disabled (yields a
+  shared dummy span); use for purely observational regions.
+* :func:`timed` — always creates and times a real :class:`Span`, and
+  attaches it to the trace only when recording.  Use where the result
+  object itself carries the timing (:class:`TimedResult`), so reported
+  ``seconds`` and the trace tree agree by construction.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Duration; measured up to *now* while the span is open."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(end - self.start, 0.0)
+
+    def set(self, **attrs) -> "Span":
+        """Attach or overwrite attributes; returns self for chaining."""
+        self.attributes.update(attrs)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) named ``name``, preorder."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.seconds * 1000:.2f} ms, "
+                f"children={len(self.children)})")
+
+
+class _NoopSpan:
+    """The shared span yielded by a disabled recorder."""
+
+    __slots__ = ()
+    name = "noop"
+    attributes: dict = {}
+    children: list = []
+    seconds = 0.0
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str):
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopContext:
+    """Reusable, reentrant context manager yielding the no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+class NullRecorder:
+    """Recorder that records nothing, as cheaply as possible."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics: NullMetricsRegistry = NULL_METRICS
+
+    @property
+    def roots(self) -> list[Span]:
+        return []
+
+    def span(self, name: str, **attrs) -> _NoopContext:
+        return _NOOP_CONTEXT
+
+    def current(self) -> Span | None:
+        return None
+
+    def push(self, span: Span) -> None:
+        pass
+
+    def pop(self, span: Span) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Thread-safe collector of span trees plus a metrics registry.
+
+    Each thread keeps its own stack of open spans (so concurrent
+    requests interleave without corrupting each other's trees); finished
+    top-level spans land in :attr:`roots` under a lock.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.metrics = MetricsRegistry()
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span stack ------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def push(self, span: Span) -> None:
+        """Attach ``span`` under the current span (or as a new root)."""
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+
+    def pop(self, span: Span) -> None:
+        """Close out ``span`` (tolerates unbalanced exits)."""
+        stack = self._stack()
+        while stack:
+            if stack.pop() is span:
+                break
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` body."""
+        span = Span(name, attrs, start=time.perf_counter())
+        self.push(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self.pop(span)
+
+    def clear(self) -> None:
+        """Drop collected spans and reset every metric."""
+        with self._lock:
+            self.roots.clear()
+        self.metrics.reset()
+
+
+# -- the process-global recorder ---------------------------------------------
+
+_recorder: NullRecorder | TraceRecorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder | TraceRecorder:
+    """The active recorder (the shared no-op one unless enabled)."""
+    return _recorder
+
+
+def set_recorder(recorder: NullRecorder | TraceRecorder) -> None:
+    """Install ``recorder`` as the process-global recorder."""
+    global _recorder
+    _recorder = recorder
+
+
+def enable(recorder: TraceRecorder | None = None) -> TraceRecorder:
+    """Start recording globally; returns the installed recorder."""
+    recorder = recorder or TraceRecorder()
+    set_recorder(recorder)
+    return recorder
+
+
+def disable() -> None:
+    """Stop recording: reinstall the shared no-op recorder."""
+    set_recorder(NULL_RECORDER)
+
+
+@contextmanager
+def recording(recorder: TraceRecorder | None = None
+              ) -> Iterator[TraceRecorder]:
+    """Record within a ``with`` block, restoring the previous recorder."""
+    previous = _recorder
+    installed = enable(recorder)
+    try:
+        yield installed
+    finally:
+        set_recorder(previous)
+
+
+# -- convenience pass-throughs -------------------------------------------------
+
+
+def span(name: str, **attrs):
+    """A span on the active recorder (no-op context when disabled)."""
+    return _recorder.span(name, **attrs)
+
+
+def counter(name: str):
+    """A counter from the active recorder's metrics registry."""
+    return _recorder.metrics.counter(name)
+
+
+def gauge(name: str):
+    """A gauge from the active recorder's metrics registry."""
+    return _recorder.metrics.gauge(name)
+
+
+def histogram(name: str, buckets=None):
+    """A histogram from the active recorder's metrics registry."""
+    return _recorder.metrics.histogram(name, buckets=buckets)
+
+
+@contextmanager
+def timed(name: str, **attrs) -> Iterator[Span]:
+    """A *real* span even when recording is disabled.
+
+    The span is always created and timed — callers keep it as the
+    authoritative duration of the work (see :class:`TimedResult`) — but
+    it joins the trace tree only while a recorder is enabled.
+    """
+    recorder = _recorder
+    span = Span(name, attrs, start=time.perf_counter())
+    if recorder.enabled:
+        recorder.push(span)
+    try:
+        yield span
+    finally:
+        span.end = time.perf_counter()
+        if recorder.enabled:
+            recorder.pop(span)
+
+
+def traced(name: str | None = None, **attrs) -> Callable:
+    """Decorator: run the function under a span named after it."""
+    def wrap(fn: Callable) -> Callable:
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            recorder = _recorder
+            if not recorder.enabled:
+                return fn(*args, **kwargs)
+            with recorder.span(label, **attrs):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
+
+
+@dataclass
+class TimedResult:
+    """Base for result records whose timing references a span.
+
+    ``Response``, ``BlockTrace`` and ``FormResponse`` all used to carry
+    their own ``seconds`` float measured with private ``perf_counter``
+    pairs; deriving the duration from the span that timed the work makes
+    the numbers agree with the trace tree by construction.
+    """
+
+    span: Span | None = field(default=None, kw_only=True)
+
+    @property
+    def seconds(self) -> float:
+        """Duration of the span that produced this result."""
+        return self.span.seconds if self.span is not None else 0.0

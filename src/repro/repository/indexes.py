@@ -29,6 +29,7 @@ from typing import Iterable
 
 from repro.graph.model import Edge, Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.trace import get_recorder
 
 
 class GraphIndex:
@@ -56,16 +57,25 @@ class GraphIndex:
 
     def refresh(self) -> None:
         """Rebuild every index structure from the current graph state."""
-        self._labels.clear()
-        self._collection_names = set(self.graph.collection_names())
-        self._attribute_extent.clear()
-        self._forward.clear()
-        self._backward.clear()
-        self._value_index.clear()
-        for edge in self.graph.edges():
-            self._insert_edge(edge)
-        self._epoch = self._snapshot_key()
-        self._built = True
+        recorder = get_recorder()
+        with recorder.span("index.build", graph=self.graph.name) as span:
+            self._labels.clear()
+            self._collection_names = set(self.graph.collection_names())
+            self._attribute_extent.clear()
+            self._forward.clear()
+            self._backward.clear()
+            self._value_index.clear()
+            for edge in self.graph.edges():
+                self._insert_edge(edge)
+            self._epoch = self._snapshot_key()
+            self._built = True
+            span.set(labels=len(self._labels),
+                     values=len(self._value_index))
+        recorder.metrics.counter("repository.index.builds").inc()
+        recorder.metrics.gauge("repository.index.labels").set(
+            len(self._labels))
+        recorder.metrics.gauge("repository.index.values").set(
+            len(self._value_index))
 
     def _insert_edge(self, edge: Edge) -> None:
         source, label, target = edge

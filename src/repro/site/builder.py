@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SiteError
 from repro.graph.model import Graph, Oid
+from repro.obs.trace import get_recorder
 from repro.site.schema import SiteSchema, build_site_schema
 from repro.site.verify import Constraint, VerificationReport, Verifier
 from repro.struql.ast import Query
@@ -86,8 +87,12 @@ class Website:
     def build(self) -> "Website":
         """Evaluate the site-definition queries; idempotent."""
         if self._result is None:
-            self._result = compose(list(self.queries), self.data,
-                                   engine=self.engine)
+            with get_recorder().span("site.build",
+                                     queries=len(self.queries)) as span:
+                self._result = compose(list(self.queries), self.data,
+                                       engine=self.engine)
+                span.set(site_nodes=self._result.output.node_count,
+                         site_edges=self._result.output.edge_count)
         return self
 
     @property
@@ -117,7 +122,12 @@ class Website:
 
     def generate(self, out_dir: str) -> dict[Oid, str]:
         """Materialize the browsable site under ``out_dir``."""
-        return self.generator().generate_site(out_dir)
+        recorder = get_recorder()
+        with recorder.span("site.generate", out_dir=out_dir) as span:
+            written = self.generator().generate_site(out_dir)
+            span.set(pages=len(written))
+        recorder.metrics.counter("site.pages_built").inc(len(written))
+        return written
 
     def verify(self, constraints: list[Constraint],
                schema_level: bool = True,

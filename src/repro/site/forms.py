@@ -17,12 +17,12 @@ String-matching built-ins useful in form queries (``contains``,
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.errors import SiteError
 from repro.graph.model import Graph, Oid
 from repro.graph.values import Atom
+from repro.obs.trace import TimedResult, get_recorder, timed
 from repro.struql.ast import Query
 from repro.struql.bindings import Binding
 from repro.struql.evaluator import QueryEngine
@@ -54,12 +54,12 @@ def register_string_predicates(registry: PredicateRegistry) -> None:
 
 
 @dataclass
-class FormResponse:
-    """One answered form submission."""
+class FormResponse(TimedResult):
+    """One answered form submission; ``seconds`` comes from its
+    ``form.submit`` span."""
 
     html: str
     page: Oid
-    seconds: float
     from_cache: bool
 
 
@@ -101,7 +101,8 @@ class FormHandler:
         """Answer one submission; parameter names must match the
         query's declared parameters."""
         self.stats["requests"] += 1
-        started = time.perf_counter()
+        metrics = get_recorder().metrics
+        metrics.counter("forms.requests").inc()
         missing = [p for p in self.query.params if p not in params]
         if missing:
             raise SiteError(f"missing form parameter(s): "
@@ -114,24 +115,29 @@ class FormHandler:
             params[p], (Atom, Oid)) else params[p]
             for p in self.query.params)
         key = values
-        if self._cache_enabled and key in self._cache:
-            self.stats["cache_hits"] += 1
-            cached = self._cache[key]
-            return FormResponse(cached.html, cached.page,
-                                time.perf_counter() - started, True)
-        initial: Binding = dict(zip(self.query.params, values))
-        result = self.engine.evaluate(self.query, self.data,
-                                      initial=initial)
-        self.stats["evaluations"] += 1
-        page = Oid.skolem(self.result_fn, values)
-        if not result.output.has_node(page):
-            raise SiteError(
-                f"form query did not create result page {page}")
-        generator = HtmlGenerator(result.output, self.templates,
-                                  loader=self.loader)
-        html = generator.render(page)
-        response = FormResponse(html, page,
-                                time.perf_counter() - started, False)
+        with timed("form.submit") as span:
+            if self._cache_enabled and key in self._cache:
+                self.stats["cache_hits"] += 1
+                metrics.counter("forms.cache_hits").inc()
+                span.set(cached=True)
+                cached = self._cache[key]
+                return FormResponse(cached.html, cached.page, True,
+                                    span=span)
+            span.set(cached=False)
+            initial: Binding = dict(zip(self.query.params, values))
+            result = self.engine.evaluate(self.query, self.data,
+                                          initial=initial)
+            self.stats["evaluations"] += 1
+            metrics.counter("forms.evaluations").inc()
+            page = Oid.skolem(self.result_fn, values)
+            if not result.output.has_node(page):
+                raise SiteError(
+                    f"form query did not create result page {page}")
+            generator = HtmlGenerator(result.output, self.templates,
+                                      loader=self.loader)
+            html = generator.render(page)
+            response = FormResponse(html, page, False, span=span)
+        metrics.histogram("forms.submit_seconds").observe(span.seconds)
         if self._cache_enabled:
             self._cache[key] = response
         return response

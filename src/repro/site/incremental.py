@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.errors import PageNotFoundError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.trace import get_recorder
 from repro.struql.ast import AggregateCond, Const, Query, SkolemTerm, Var
 from repro.struql.bindings import Binding, RuntimeValue, as_label
 from repro.struql.evaluator import QueryEngine, _enforce_aggregate_order
@@ -82,15 +83,20 @@ class DynamicSite:
 
     def get_page(self, oid: Oid) -> PageView:
         """Compute (or fetch from cache) one page's view."""
+        recorder = get_recorder()
         if self._cache_enabled and oid in self._page_cache:
             self.stats["cache_hits"] += 1
+            recorder.metrics.counter("site.page_cache_hits").inc()
             return self._page_cache[oid]
         if oid.skolem_fn is None:
             raise PageNotFoundError(oid)
-        view = self._compute(oid)
+        with recorder.span("site.compute_page", page=str(oid)) as span:
+            view = self._compute(oid)
+            span.set(edges=len(view.edges))
         if self._cache_enabled:
             self._page_cache[oid] = view
         self.stats["pages_computed"] += 1
+        recorder.metrics.counter("site.page_cache_misses").inc()
         return view
 
     def invalidate(self) -> None:
@@ -160,6 +166,8 @@ class DynamicSite:
                tuple(str(v) for _, v in sorted(seed.items())))
         if self._cache_enabled and key in self._bindings_cache:
             self.stats["cache_hits"] += 1
+            get_recorder().metrics.counter(
+                "site.bindings_cache_hits").inc()
             return self._bindings_cache[key]
         if self._index is None or not self._index.fresh:
             from repro.repository.indexes import GraphIndex
@@ -189,6 +197,7 @@ class DynamicSite:
                     if all(name in row and runtime_eq(row[name], value)
                            for name, value in post_filter.items())]
         self.stats["unit_evaluations"] += 1
+        get_recorder().metrics.counter("site.unit_evaluations").inc()
         if self._cache_enabled:
             self._bindings_cache[key] = rows
         return rows

@@ -7,17 +7,21 @@ effort"; this module provides the in-process equivalent: a
 requested page's query at click time (through
 :class:`~repro.site.incremental.DynamicSite` /
 :class:`~repro.site.incremental.LazySiteGraph`) and rendering it with
-the ordinary HTML generator.  Request latencies are recorded, so the
-materialized-vs-dynamic trade-off of benchmark A3 can be measured.
+the ordinary HTML generator.  Request latencies are recorded through
+the shared observability layer (:mod:`repro.obs`), so the
+materialized-vs-dynamic trade-off of benchmark A3 can be measured and
+long crawls no longer grow an unbounded latency list.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 
 from repro.errors import PageNotFoundError
 from repro.graph.model import Graph, Oid
+from repro.obs.metrics import Histogram
+from repro.obs.trace import TimedResult, get_recorder, timed
 from repro.site.incremental import DynamicSite, LazySiteGraph
 from repro.struql.ast import Query
 from repro.struql.evaluator import QueryEngine
@@ -25,28 +29,71 @@ from repro.templates.generator import HtmlGenerator, TemplateSet
 
 
 @dataclass
-class Response:
-    """One served page."""
+class Response(TimedResult):
+    """One served page; ``seconds`` comes from its request span."""
 
     oid: Oid
     status: int
     body: str
-    seconds: float
 
 
-@dataclass
 class ServerLog:
-    """Aggregated request statistics."""
+    """Aggregated request statistics.
 
-    requests: int = 0
-    errors: int = 0
-    total_seconds: float = 0.0
-    latencies: list[float] = field(default_factory=list)
+    Latencies feed a fixed-bucket :class:`~repro.obs.metrics.Histogram`
+    (bounded memory, percentile summaries) plus a small reservoir
+    sample.  The old unbounded ``latencies`` list is deprecated: the
+    property now exposes the reservoir as a read-only tuple, capped at
+    :attr:`MAX_SAMPLES` entries however long the crawl.
+    """
+
+    #: Reservoir size for the raw-latency sample.
+    MAX_SAMPLES = 512
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.histogram = Histogram("server.request_seconds")
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5EED)
+
+    def record(self, seconds: float) -> None:
+        """Account one served request's latency."""
+        self.total_seconds += seconds
+        self.histogram.observe(seconds)
+        get_recorder().metrics.histogram(
+            "server.request_seconds").observe(seconds)
+        if len(self._samples) < self.MAX_SAMPLES:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.histogram.count)
+            if slot < self.MAX_SAMPLES:
+                self._samples[slot] = seconds
+
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        """A bounded reservoir sample of per-request seconds.
+
+        Deprecated as a mutable list; kept as a read-only view for
+        existing consumers.
+        """
+        return tuple(self._samples)
 
     @property
     def mean_latency(self) -> float:
         """Mean per-request seconds (0 when nothing served)."""
         return self.total_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        """Median request seconds, from the histogram."""
+        return self.histogram.percentile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile request seconds, from the histogram."""
+        return self.histogram.percentile(0.95)
 
 
 class DynamicSiteServer:
@@ -60,6 +107,8 @@ class DynamicSiteServer:
         self.graph = LazySiteGraph(self.site)
         self.generator = HtmlGenerator(self.graph, templates, loader=loader)
         self.log = ServerLog()
+        self._url_map: dict[str, Oid] | None = None
+        self._url_map_size = -1
 
     # -- routing -------------------------------------------------------------
 
@@ -68,35 +117,45 @@ class DynamicSiteServer:
         return self.site.roots()
 
     def resolve_path(self, path: str) -> Oid | None:
-        """Map a URL path back to a page oid (inverse of ``url_for``)."""
+        """Map a URL path back to a page oid (inverse of ``url_for``).
+
+        Backed by a url->oid map rebuilt only when the lazy graph has
+        materialized new nodes, so steady-state resolution is O(1)
+        instead of a linear scan over every page per request.
+        """
         wanted = path.lstrip("/")
-        for node in list(self.graph.nodes()):
-            if self.generator.url_for(node) == wanted:
-                return node
-        return None
+        if self._url_map is None or \
+                self._url_map_size != self.graph.node_count:
+            url_map: dict[str, Oid] = {}
+            for node in list(self.graph.nodes()):
+                url_map.setdefault(self.generator.url_for(node), node)
+            self._url_map = url_map
+            self._url_map_size = self.graph.node_count
+        return self._url_map.get(wanted)
 
     def request(self, page: Oid | str) -> Response:
         """Serve one page by oid or URL path."""
-        started = time.perf_counter()
         self.log.requests += 1
-        oid = page if isinstance(page, Oid) else self.resolve_path(page)
-        try:
-            if oid is None:
-                raise PageNotFoundError(page)
-            self.graph.ensure(oid)
-            if not self.graph.has_node(oid):
-                raise PageNotFoundError(oid)
-            body = self.generator.render(oid)
-            status = 200
-        except PageNotFoundError:
-            body = "<h1>404 Not Found</h1>"
-            status = 404
-            self.log.errors += 1
-        elapsed = time.perf_counter() - started
-        self.log.total_seconds += elapsed
-        self.log.latencies.append(elapsed)
+        with timed("server.request") as span:
+            oid = page if isinstance(page, Oid) else self.resolve_path(page)
+            try:
+                if oid is None:
+                    raise PageNotFoundError(page)
+                self.graph.ensure(oid)
+                if not self.graph.has_node(oid):
+                    raise PageNotFoundError(oid)
+                body = self.generator.render(oid)
+                status = 200
+            except PageNotFoundError:
+                body = "<h1>404 Not Found</h1>"
+                status = 404
+                self.log.errors += 1
+                get_recorder().metrics.counter("server.errors").inc()
+            span.set(page=str(page), status=status)
+        self.log.record(span.seconds)
+        get_recorder().metrics.counter("server.requests").inc()
         return Response(oid if isinstance(oid, Oid) else Oid("<unknown>"),
-                        status, body, elapsed)
+                        status, body, span=span)
 
     def crawl(self, start: Oid | None = None,
               limit: int | None = None) -> list[Response]:
@@ -133,3 +192,5 @@ class DynamicSiteServer:
         self.graph = fresh
         self.generator = HtmlGenerator(fresh, self.generator.templates,
                                        loader=self.generator.loader)
+        self._url_map = None
+        self._url_map_size = -1

@@ -20,10 +20,10 @@ queries agree on the identity of Skolem-created pages.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.graph.model import Graph
+from repro.obs.trace import TimedResult, get_recorder, timed
 from repro.repository.indexes import GraphIndex
 from repro.repository.repository import Repository
 from repro.repository.stats import GraphStatistics
@@ -45,13 +45,16 @@ from repro.struql.skolem import SkolemRegistry
 
 
 @dataclass
-class BlockTrace:
-    """Diagnostics for one evaluated block."""
+class BlockTrace(TimedResult):
+    """Diagnostics for one evaluated block.
+
+    ``seconds`` derives from the ``struql.block`` span that timed the
+    evaluation, so the trace tree and this summary always agree.
+    """
 
     label: str
     plan_explain: str
     binding_rows: int
-    seconds: float
 
 
 @dataclass
@@ -133,8 +136,12 @@ class QueryEngine:
         if missing:
             from repro.errors import UnboundVariableError
             raise UnboundVariableError(missing[0])
-        self._run_block(query.root, [seed], set(seed), ctx, builder,
-                        result, stats)
+        with get_recorder().span("struql.query", input=query.input_name,
+                                 output=query.output_name,
+                                 optimizer=self.optimizer.name,
+                                 indexed=index is not None):
+            self._run_block(query.root, [seed], set(seed), ctx, builder,
+                            result, stats)
         return result
 
     def run(self, query: Query | str, repository: Repository,
@@ -163,24 +170,34 @@ class QueryEngine:
                    bound: set[str], ctx: ExecutionContext,
                    builder: GraphBuilder, result: QueryResult,
                    stats: GraphStatistics | None) -> None:
-        started = time.perf_counter()
-        if block.conditions:
-            ordered = self.optimizer.order(
-                block.conditions, bound, ctx.graph, ctx.predicates, stats)
-            ordered = _enforce_aggregate_order(ordered)
-            plan = Plan.from_conditions(ordered)
-            rows = plan.execute(ctx, initial=[dict(r) for r in parent_rows])
-            explain = plan.explain()
-        else:
-            rows = parent_rows
-            explain = "(no conditions)"
-        for row in rows:
-            builder.apply_block_row(block, row)
+        recorder = get_recorder()
+        with timed("struql.block", label=block.label or "(top)") as span:
+            if block.conditions:
+                ordered = self.optimizer.order(
+                    block.conditions, bound, ctx.graph, ctx.predicates,
+                    stats)
+                ordered = _enforce_aggregate_order(ordered)
+                if recorder.enabled and stats is not None:
+                    span.set(estimated_rows=_estimate_rows(
+                        ordered, bound, len(parent_rows), stats))
+                plan = Plan.from_conditions(ordered)
+                rows = plan.execute(ctx,
+                                    initial=[dict(r) for r in parent_rows])
+                explain = plan.explain()
+            else:
+                rows = parent_rows
+                explain = "(no conditions)"
+            if recorder.enabled:
+                span.set(optimizer=self.optimizer.name,
+                         actual_rows=len(rows))
+            with recorder.span("struql.construct", rows=len(rows)):
+                for row in rows:
+                    builder.apply_block_row(block, row)
         result.traces.append(BlockTrace(
             label=block.label,
             plan_explain=explain,
             binding_rows=len(rows),
-            seconds=time.perf_counter() - started,
+            span=span,
         ))
         child_bound = bound | block.variables()
         for child in block.children:
@@ -212,6 +229,24 @@ def _enforce_aggregate_order(ordered: list[Condition]
         else:
             before.append(condition)
     return before + aggregates + after
+
+
+def _estimate_rows(ordered: list[Condition], bound: set[str],
+                   parent_rows: int, stats: GraphStatistics) -> float:
+    """The optimizer's cardinality forecast for an ordered plan.
+
+    Recorded next to the actual row count so traces expose estimation
+    error, the quantity that decides whether cost-based ordering can be
+    trusted on a given workload.
+    """
+    from repro.struql.optimizer.cost import estimate_condition
+    estimate = float(parent_rows or 1)
+    known = set(bound)
+    for condition in ordered:
+        multiplier, _ = estimate_condition(condition, known, stats)
+        estimate *= multiplier
+        known |= condition_variables(condition)
+    return round(estimate, 2)
 
 
 def evaluate(query: Query | str, graph: Graph,

@@ -35,6 +35,7 @@ from typing import Iterable, Iterator, Union
 from repro.errors import StruQLError, UnboundVariableError, UnknownPredicateError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.trace import get_recorder
 from repro.repository.indexes import GraphIndex
 from repro.repository.stats import GraphStatistics
 from repro.struql.ast import (
@@ -78,6 +79,11 @@ class ExecutionContext:
         self.predicates = predicates or default_registry()
         self.stats = stats
         self._path_evaluators: dict[RegularPath, PathEvaluator] = {}
+        # Counter handles resolved once per context: one no-op call per
+        # lookup when observability is disabled.
+        metrics = get_recorder().metrics
+        self._index_hits = metrics.counter("repository.index.hits")
+        self._index_misses = metrics.counter("repository.index.misses")
 
     def path_evaluator(self, expr: RegularPath) -> PathEvaluator:
         evaluator = self._path_evaluators.get(expr)
@@ -95,25 +101,33 @@ class ExecutionContext:
 
     def targets(self, source: Oid, label: str) -> list[GraphObject]:
         if self.index is not None:
+            self._index_hits.inc()
             return self.index.targets(source, label)
+        self._index_misses.inc()
         return [e.target for e in self.graph.edges()
                 if e.source == source and e.label == label]
 
     def sources(self, label: str, target: GraphObject) -> list[Oid]:
         if self.index is not None:
+            self._index_hits.inc()
             return self.index.sources(label, target)
+        self._index_misses.inc()
         return [e.source for e in self.graph.edges()
                 if e.label == label and runtime_eq(e.target, target)]
 
     def attribute_extent(self, label: str) -> list[tuple[Oid, GraphObject]]:
         if self.index is not None:
+            self._index_hits.inc()
             return self.index.attribute_extent(label)
+        self._index_misses.inc()
         return [(e.source, e.target) for e in self.graph.edges()
                 if e.label == label]
 
     def labels(self) -> list[str]:
         if self.index is not None:
+            self._index_hits.inc()
             return self.index.labels()
+        self._index_misses.inc()
         return self.graph.labels()
 
 
@@ -594,8 +608,22 @@ class Plan:
                 initial: list[Binding] | None = None) -> list[Binding]:
         """Run the pipeline; ``initial`` defaults to one empty binding."""
         rows: list[Binding] = initial if initial is not None else [{}]
+        recorder = get_recorder()
+        if not recorder.enabled:
+            for op in self.ops:
+                rows = list(op.extend(rows, ctx))
+                if not rows:
+                    break
+            return rows
+        scanned = recorder.metrics.counter("struql.rows_scanned")
+        produced = recorder.metrics.counter("struql.rows_produced")
         for op in self.ops:
-            rows = list(op.extend(rows, ctx))
+            before = len(rows)
+            with recorder.span("struql.op", op=op.explain()) as span:
+                rows = list(op.extend(rows, ctx))
+                span.set(rows_scanned=before, rows_produced=len(rows))
+            scanned.inc(before)
+            produced.inc(len(rows))
             if not rows:
                 break
         return rows

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.errors import CoercionError, MissingTemplateError, TemplateEvalError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.trace import get_recorder, timed
 from repro.templates.ast import (
     AndCond,
     AttrExpr,
@@ -148,7 +149,21 @@ class HtmlGenerator:
     # -- rendering ---------------------------------------------------------------
 
     def render(self, oid: Oid) -> str:
-        """The full HTML value of one object (page or component)."""
+        """The full HTML value of one object (page or component).
+
+        Top-level renders (not embedded components) are timed into the
+        ``templates.render_seconds`` histogram and a ``render.page``
+        span.
+        """
+        if self._render_stack:
+            return self._do_render(oid)
+        with timed("render.page", page=str(oid)) as span:
+            html = self._do_render(oid)
+        get_recorder().metrics.histogram(
+            "templates.render_seconds").observe(span.seconds)
+        return html
+
+    def _do_render(self, oid: Oid) -> str:
         selected = self.templates.select(self.graph, oid)
         if selected is None:
             raise MissingTemplateError(oid)
@@ -171,11 +186,14 @@ class HtmlGenerator:
         """
         os.makedirs(out_dir, exist_ok=True)
         written: dict[Oid, str] = {}
-        for page in self.pages():
-            path = os.path.join(out_dir, self.url_for(page))
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(self.render(page))
-            written[page] = path
+        with get_recorder().span("site.generate_site",
+                                 out_dir=out_dir) as span:
+            for page in self.pages():
+                path = os.path.join(out_dir, self.url_for(page))
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(self.render(page))
+                written[page] = path
+            span.set(pages=len(written))
         return written
 
     # -- node dispatch ----------------------------------------------------------

@@ -179,6 +179,47 @@ object pub3 in Publications { title "New" year 2002 }
         assert "error:" in capsys.readouterr().err
 
 
+class TestTraceCommand:
+    def test_trace_build_prints_span_tree(self, workspace, capsys):
+        out_dir = workspace / "www"
+        code = main(["trace",
+                     "--metrics-out", str(workspace / "obs.json"),
+                     "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--templates", str(workspace / "templates"),
+                     "--out", str(out_dir)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # Span tree covers mediator -> query -> construction -> render.
+        for name in ("mediator.load", "struql.query", "struql.block",
+                     "struql.construct", "site.generate", "render.page"):
+            assert name in printed, name
+        assert "repository.index" in printed
+        document = json.loads((workspace / "obs.json").read_text())
+        counters = document["metrics"]["counters"]
+        assert "repository.index.hits" in counters
+        assert "repository.index.misses" in counters
+        assert counters["struql.rows_produced"] > 0
+        histograms = document["metrics"]["histograms"]
+        assert histograms["templates.render_seconds"]["count"] > 0
+        assert "p50" in histograms["templates.render_seconds"]
+        assert document["spans"], "expected recorded spans"
+
+    def test_trace_leaves_recorder_disabled(self, workspace, capsys):
+        from repro.obs import NULL_RECORDER, get_recorder
+        main(["trace", "check",
+              "--query", str(workspace / "site.struql")])
+        assert get_recorder() is NULL_RECORDER
+
+    def test_trace_without_command_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace needs a command" in capsys.readouterr().err
+
+    def test_trace_of_trace_rejected(self, capsys):
+        assert main(["trace", "trace", "check"]) == 2
+
+
 class TestSiteDot:
     def test_build_emits_dot(self, workspace, capsys):
         code = main(["build",

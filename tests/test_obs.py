@@ -1,0 +1,368 @@
+"""The observability layer: spans, metrics, exporters, integration."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.ddl import parse_ddl
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, Span, TimedResult
+from repro.sites.homepage import FIG2_DDL, FIG3_QUERY
+from repro.struql.evaluator import QueryEngine
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Every test starts and ends with the global no-op recorder."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self):
+        with obs.recording() as rec:
+            with rec.span("outer") as outer:
+                with rec.span("first"):
+                    pass
+                with rec.span("second") as second:
+                    with rec.span("inner"):
+                        pass
+                second.set(checked=True)
+        assert [r.name for r in rec.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["first", "second"]
+        assert [c.name for c in second.children] == ["inner"]
+        assert second.attributes["checked"] is True
+        assert [s.name for s in outer.walk()] == \
+            ["outer", "first", "second", "inner"]
+
+    def test_durations_nest(self):
+        with obs.recording() as rec:
+            with rec.span("outer") as outer:
+                with rec.span("inner") as inner:
+                    time.sleep(0.002)
+        assert outer.seconds >= inner.seconds > 0
+
+    def test_find(self):
+        with obs.recording() as rec:
+            with rec.span("a"):
+                with rec.span("b", tag=1):
+                    pass
+        found = rec.roots[0].find("b")
+        assert found is not None and found.attributes["tag"] == 1
+        assert rec.roots[0].find("zzz") is None
+
+    def test_exception_still_closes_span(self):
+        with obs.recording() as rec:
+            with pytest.raises(ValueError):
+                with rec.span("boom"):
+                    raise ValueError("x")
+        span = rec.roots[0]
+        assert span.end is not None
+        assert rec.current() is None
+
+    def test_threads_get_separate_roots(self):
+        with obs.recording() as rec:
+            def work(label):
+                with rec.span(label):
+                    with rec.span(f"{label}.child"):
+                        pass
+            threads = [threading.Thread(target=work, args=(f"t{i}",))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sorted(r.name for r in rec.roots) == \
+            ["t0", "t1", "t2", "t3"]
+        assert all(len(r.children) == 1 for r in rec.roots)
+
+    def test_timed_is_real_even_when_disabled(self):
+        with obs.timed("work", kind="test") as span:
+            time.sleep(0.001)
+        assert span.seconds >= 0.001
+        assert span.attributes == {"kind": "test"}
+        # ...but nothing was collected globally.
+        assert obs.get_recorder() is NULL_RECORDER
+
+    def test_timed_attaches_when_recording(self):
+        with obs.recording() as rec:
+            with obs.timed("work") as span:
+                pass
+        assert rec.roots == [span]
+
+    def test_traced_decorator(self):
+        @obs.traced("my.fn")
+        def fn(x):
+            return x * 2
+
+        assert fn(3) == 6  # disabled: plain call
+        with obs.recording() as rec:
+            assert fn(4) == 8
+        assert rec.roots[0].name == "my.fn"
+
+    def test_noop_span_is_shared_and_inert(self):
+        with obs.span("anything", a=1) as span:
+            span.set(b=2)
+        assert span.attributes == {}
+        assert span.seconds == 0.0
+
+    def test_recording_restores_previous(self):
+        outer = obs.enable()
+        with obs.recording() as inner:
+            assert obs.get_recorder() is inner
+        assert obs.get_recorder() is outer
+
+    def test_clear(self):
+        with obs.recording() as rec:
+            with rec.span("x"):
+                pass
+            rec.metrics.counter("c").inc()
+            rec.clear()
+            assert rec.roots == []
+            assert rec.metrics.as_dict()["counters"] == {}
+
+
+class TestTimedResult:
+    def test_seconds_from_span(self):
+        span = Span("s", start=10.0, end=10.5)
+        assert TimedResult(span=span).seconds == 0.5
+
+    def test_seconds_without_span(self):
+        assert TimedResult().seconds == 0.0
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        registry.gauge("depth").set(7)
+        data = registry.as_dict()
+        assert data["counters"]["hits"] == 5
+        assert data["gauges"]["depth"] == 7
+
+    def test_counter_thread_safety(self):
+        counter = MetricsRegistry().counter("n")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_histogram_percentiles_uniform(self):
+        # 1..1000 ms uniform: p50 ~ 0.5 s, p90 ~ 0.9 s, p99 ~ 0.99 s.
+        histogram = Histogram("lat")
+        for i in range(1, 1001):
+            histogram.observe(i / 1000.0)
+        assert histogram.count == 1000
+        assert abs(histogram.percentile(0.50) - 0.5) < 0.15
+        assert abs(histogram.percentile(0.90) - 0.9) < 0.2
+        assert histogram.percentile(0.99) <= histogram.max == 1.0
+        assert histogram.percentile(0.50) < histogram.percentile(0.90) \
+            <= histogram.percentile(0.99)
+        assert abs(histogram.mean - 0.5005) < 1e-9
+
+    def test_histogram_constant_distribution(self):
+        histogram = Histogram("lat")
+        for _ in range(100):
+            histogram.observe(0.003)
+        # All mass in one bucket, clamped to observed min/max.
+        assert histogram.percentile(0.5) == pytest.approx(0.003, abs=1e-3)
+        assert histogram.min == histogram.max == 0.003
+
+    def test_histogram_overflow_bucket(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 50.0, 100.0):
+            histogram.observe(value)
+        assert histogram.percentile(1.0) == 100.0
+        assert histogram.max == 100.0
+
+    def test_histogram_empty(self):
+        histogram = Histogram("lat")
+        assert histogram.percentile(0.99) == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0 and summary["min"] == 0.0
+
+    def test_histogram_bounded_memory(self):
+        histogram = Histogram("lat")
+        for i in range(10000):
+            histogram.observe(i * 0.001)
+        assert len(histogram.bucket_counts) == \
+            len(histogram.bounds) + 1
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(1.5)
+
+
+class TestExport:
+    def _sample_recorder(self):
+        recorder = obs.TraceRecorder()
+        with recorder.span("root", stage="build"):
+            with recorder.span("child", n=2):
+                pass
+        recorder.metrics.counter("hits").inc(3)
+        recorder.metrics.gauge("size").set(9)
+        recorder.metrics.histogram("lat").observe(0.25)
+        return recorder
+
+    def test_json_round_trip(self):
+        recorder = self._sample_recorder()
+        text = obs.to_json(recorder)
+        spans, metrics = obs.from_json(text)
+        assert len(spans) == 1
+        root = spans[0]
+        assert root.name == "root"
+        assert root.attributes == {"stage": "build"}
+        assert [c.name for c in root.children] == ["child"]
+        assert root.children[0].attributes == {"n": 2}
+        original = recorder.roots[0]
+        assert root.seconds == pytest.approx(original.seconds)
+        assert metrics["counters"]["hits"] == 3
+        assert metrics["gauges"]["size"] == 9
+        assert metrics["histograms"]["lat"]["count"] == 1
+
+    def test_json_is_valid_and_safe(self):
+        recorder = obs.TraceRecorder()
+        with recorder.span("r", oid=object()):
+            pass
+        parsed = json.loads(obs.to_json(recorder))
+        assert isinstance(parsed["spans"][0]["attributes"]["oid"], str)
+
+    def test_export_max_depth_prunes(self):
+        recorder = obs.TraceRecorder()
+        with recorder.span("a"):
+            with recorder.span("b"):
+                with recorder.span("c"):
+                    pass
+                with recorder.span("d"):
+                    pass
+        document = obs.export_state(recorder, max_depth=2)
+        root = document["spans"][0]
+        assert [c["name"] for c in root["children"]] == ["b"]
+        assert root["children"][0]["children"] == []
+        assert root["children"][0]["pruned"] == 2
+        full = obs.export_state(recorder)
+        b = full["spans"][0]["children"][0]
+        assert [c["name"] for c in b["children"]] == ["c", "d"]
+        assert "pruned" not in b
+
+    def test_render_tree(self):
+        recorder = self._sample_recorder()
+        tree = obs.render_tree(recorder)
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "stage=build" in lines[0]
+
+    def test_render_tree_empty(self):
+        assert "no spans" in obs.render_tree([])
+
+    def test_render_metrics(self):
+        recorder = self._sample_recorder()
+        text = obs.render_metrics(recorder.metrics)
+        assert "hits" in text and "p50" in text
+
+    def test_write_json(self, tmp_path):
+        recorder = self._sample_recorder()
+        path = tmp_path / "obs.json"
+        obs.write_json(recorder, str(path))
+        spans, _ = obs.from_json(path.read_text())
+        assert spans[0].name == "root"
+
+
+class TestPipelineIntegration:
+    def test_query_engine_emits_spans_and_counters(self):
+        graph = parse_ddl(FIG2_DDL, "BIBTEX")
+        with obs.recording() as rec:
+            result = QueryEngine().evaluate(FIG3_QUERY, graph)
+        root = rec.roots[-1]
+        assert root.name == "struql.query"
+        blocks = [s for s in root.walk() if s.name == "struql.block"]
+        assert len(blocks) == len(result.traces)
+        # BlockTrace timings ARE the span timings.
+        for trace, span in zip(result.traces, blocks):
+            assert trace.span is span
+            assert trace.seconds == span.seconds
+        # Estimated vs actual cardinality on conditioned blocks.
+        conditioned = [b for b in blocks
+                       if "estimated_rows" in b.attributes]
+        assert conditioned
+        assert all("actual_rows" in b.attributes for b in conditioned)
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["struql.rows_produced"] > 0
+        assert counters["struql.rows_scanned"] > 0
+        assert counters["repository.index.builds"] >= 1
+
+    def test_index_miss_counter_without_indexing(self):
+        graph = parse_ddl(FIG2_DDL, "BIBTEX")
+        with obs.recording() as rec:
+            QueryEngine(indexing=False).evaluate(
+                "input B where Publications(x), x -> \"year\" -> y "
+                "create P(y) output O", graph)
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["repository.index.misses"] > 0
+
+    def test_mediator_fetch_spans(self):
+        from repro.mediator import DataSource, Mediator
+        graph = parse_ddl(FIG2_DDL, "BIBTEX")
+        mediator = Mediator("data")
+        mediator.add_source(DataSource("BIBTEX", lambda: graph))
+        mediator.add_mapping("""
+            input BIBTEX
+            where Publications(x)
+            create F(x)
+            link F(x) -> "of" -> x
+            output data
+        """)
+        with obs.recording() as rec:
+            mediator.warehouse()
+        integrate = rec.roots[0]
+        assert integrate.name == "mediator.integrate"
+        names = [c.name for c in integrate.children]
+        assert names == ["mediator.fetch", "mediator.map"]
+        assert integrate.children[0].find("source.load") is not None
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["mediator.source_loads"] == 1
+        assert counters["mediator.warehouse_builds"] == 1
+
+    def test_noop_primitives_are_cheap(self):
+        """The disabled fast path must stay trivially cheap."""
+        recorder = obs.get_recorder()
+        assert recorder is NULL_RECORDER
+        counter = recorder.metrics.counter("x")
+        histogram = recorder.metrics.histogram("y")
+        started = time.perf_counter()
+        for _ in range(100_000):
+            with recorder.span("s", a=1):
+                counter.inc()
+                histogram.observe(0.1)
+        elapsed = time.perf_counter() - started
+        # ~3 µs/op budget: two orders of magnitude above observed cost,
+        # only guards against the no-op path growing real work.
+        assert elapsed < 0.3, f"no-op obs path too slow: {elapsed:.3f}s"
+
+    def test_noop_overhead_on_f2_microloop(self):
+        """Bench f2's DDL-parse loop must not regress with obs off."""
+        def loop():
+            started = time.perf_counter()
+            for _ in range(10):
+                parse_ddl(FIG2_DDL, "BIBTEX")
+            return time.perf_counter() - started
+
+        loop()  # warm up
+        baseline = min(loop() for _ in range(3))
+        with obs.recording():
+            recorded = min(loop() for _ in range(3))
+        # Even *with* recording the parse path is untouched; allow a
+        # wide margin for CI noise — the real budget is 5%.
+        assert recorded < baseline * 1.5 + 0.01

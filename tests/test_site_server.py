@@ -41,6 +41,24 @@ class TestRequests:
         assert len(server.log.latencies) == 2
         assert server.log.mean_latency > 0
 
+    def test_percentile_latencies(self, server):
+        for _ in range(20):
+            server.request(server.roots()[0])
+        log = server.log
+        assert log.p50_latency > 0
+        assert log.p95_latency >= log.p50_latency
+        assert log.histogram.count == 20
+
+    def test_latency_samples_are_bounded(self):
+        from repro.site.server import ServerLog
+        log = ServerLog()
+        for i in range(ServerLog.MAX_SAMPLES * 4):
+            log.record(0.001 * (i % 10 + 1))
+        assert len(log.latencies) == ServerLog.MAX_SAMPLES
+        assert isinstance(log.latencies, tuple)
+        assert log.requests == 0  # record() only accounts latency
+        assert log.histogram.count == ServerLog.MAX_SAMPLES * 4
+
     def test_rendered_equals_materialized(self, server, fig4_site,
                                           fig2_graph):
         """Click-time HTML equals build-time HTML for every page."""
@@ -77,6 +95,33 @@ class TestCrawl:
             output O
         """, fig2_graph, fig7_templates())
         assert server.crawl() == []
+
+
+class TestRouting:
+    def test_resolve_path_matches_url_for(self, server):
+        for page in server.crawl():
+            url = server.generator.url_for(page.oid)
+            assert server.resolve_path(url) == page.oid
+            assert server.resolve_path("/" + url) == page.oid
+
+    def test_resolve_unknown_path(self, server):
+        assert server.resolve_path("nope.html") is None
+
+    def test_url_map_tracks_lazy_materialization(self, server):
+        root = server.roots()[0]
+        root_url = server.generator.url_for(root)
+        assert server.resolve_path(root_url) == root
+        # Materialize more pages; the map must pick them up.
+        year = Oid.skolem("YearPage", (Atom.int(1997),))
+        server.request(year)
+        assert server.resolve_path(server.generator.url_for(year)) == year
+
+    def test_url_map_survives_invalidate(self, server):
+        root = server.roots()[0]
+        url = server.generator.url_for(root)
+        assert server.resolve_path(url) == root
+        server.invalidate()
+        assert server.resolve_path(url) == root
 
 
 class TestStaleness:
