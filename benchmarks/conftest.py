@@ -9,18 +9,55 @@ Every benchmark session also runs with the observability layer
 (:mod:`repro.obs`) enabled: each test body becomes a top-level span, so
 per-phase timings plus the pipeline's counters and latency histograms
 are written to ``BENCH_obs.json`` at the end of the run for
-cross-run comparison.
+cross-run comparison.  A second, much smaller ``BENCH_core.json`` is
+written in a committed format — a handful of stable metric names with
+p50 seconds — so regression tracking across PRs diffs one tiny file
+instead of the full span forest.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 from collections import OrderedDict
 
 import pytest
 
 from repro import obs
+
+#: Stable metric name -> the span name whose durations define it.
+CORE_SPAN_METRICS = {
+    "index_build_p50_s": "index.build",
+    "struql_eval_p50_s": "struql.query",
+    "full_build_p50_s": "site.build",
+}
+
+#: Stable metric name -> the histogram whose p50 defines it.
+CORE_HISTOGRAM_METRICS = {
+    "page_render_p50_s": "templates.render_seconds",
+}
+
+
+def _core_document(recorder: obs.TraceRecorder) -> dict:
+    """The committed-format regression metrics for one session."""
+    durations: dict[str, list[float]] = {n: [] for n in CORE_SPAN_METRICS}
+    for root in recorder.roots:
+        for span in root.walk():
+            for metric, span_name in CORE_SPAN_METRICS.items():
+                if span.name == span_name:
+                    durations[metric].append(span.seconds)
+    metrics: dict[str, float | int] = {}
+    for metric, values in durations.items():
+        metrics[metric] = statistics.median(values) if values else 0.0
+        metrics[metric.replace("_p50_s", "_count")] = len(values)
+    histograms = recorder.metrics.as_dict()["histograms"]
+    for metric, hist_name in CORE_HISTOGRAM_METRICS.items():
+        summary = histograms.get(hist_name, {})
+        metrics[metric] = summary.get("p50", 0.0)
+        metrics[metric.replace("_p50_s", "_count")] = summary.get(
+            "count", 0)
+    return {"bench": "core", "schema": 1, "metrics": metrics}
 
 #: experiment id -> list of row dicts, in insertion order.
 _REPORT: "OrderedDict[str, list[dict]]" = OrderedDict()
@@ -54,6 +91,11 @@ def pytest_sessionfinish(session):
         for root in _RECORDER.roots]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
+    core_path = os.path.join(str(session.config.rootpath),
+                             "BENCH_core.json")
+    with open(core_path, "w", encoding="utf-8") as handle:
+        json.dump(_core_document(_RECORDER), handle, indent=2)
+        handle.write("\n")
     obs.disable()
     _RECORDER = None
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Materialize the organization site as an on-disk CLI workspace.
+
+The org site normally lives in code (:mod:`repro.sites.org` plus the
+synthetic mediator); this script writes the same site out as the three
+file kinds ``python -m repro`` consumes — a serialized data graph, the
+StruQL query, and one ``*.tmpl`` file per template — so the full CLI
+pipeline (``build``, ``trace``, ``monitor``) can be exercised against
+real files, e.g. in CI:
+
+.. code-block:: console
+
+    $ python examples/org_workspace.py 120 ws/
+    $ python -m repro trace build --data ws/org.json \\
+          --query ws/site.struql --templates ws/templates --out ws/www
+    $ python -m repro monitor build --data ws/org.json \\
+          --query ws/site.struql --templates ws/templates --out ws/dash
+
+Run:  python examples/org_workspace.py [people] [output_dir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.datagen import build_org_mediator
+from repro.graph.serialization import graph_to_json
+from repro.sites import ORG_QUERY, org_templates
+
+
+def write_workspace(out_dir: str, people: int = 120) -> dict:
+    """Write ``org.json``, ``site.struql`` and ``templates/`` into
+    ``out_dir``; returns a manifest of what was written."""
+    os.makedirs(out_dir, exist_ok=True)
+    data = build_org_mediator(people=people).warehouse()
+    data.name = "ORGDATA"
+
+    data_path = os.path.join(out_dir, "org.json")
+    with open(data_path, "w", encoding="utf-8") as handle:
+        handle.write(graph_to_json(data))
+
+    query_path = os.path.join(out_dir, "site.struql")
+    with open(query_path, "w", encoding="utf-8") as handle:
+        handle.write(ORG_QUERY)
+
+    templates = org_templates()
+    template_dir = os.path.join(out_dir, "templates")
+    os.makedirs(template_dir, exist_ok=True)
+    for name in templates.names():
+        suffix = ".tmpl" if templates.is_page_template(name) \
+            else ".component.tmpl"
+        path = os.path.join(template_dir, name + suffix)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(templates.get(name).source)
+
+    return {
+        "data": data_path,
+        "query": query_path,
+        "templates": template_dir,
+        "template_count": len(templates.names()),
+        "nodes": data.node_count,
+        "edges": data.edge_count,
+    }
+
+
+def main() -> None:
+    people = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp(
+        prefix="strudel-ws-")
+    manifest = write_workspace(out_dir, people)
+    print(f"workspace in {out_dir}:")
+    print(f"  {manifest['data']} ({manifest['nodes']} objects, "
+          f"{manifest['edges']} edges)")
+    print(f"  {manifest['query']}")
+    print(f"  {manifest['templates']}/ "
+          f"({manifest['template_count']} templates)")
+
+
+if __name__ == "__main__":
+    main()

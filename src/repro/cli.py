@@ -11,7 +11,9 @@ without writing Python:
     $ python -m repro check  --query site.struql
     $ python -m repro diff   --query site.struql --data pubs.bib \\
           --old-site site.json
-    $ python -m repro trace [--metrics-out obs.json] build --data ...
+    $ python -m repro trace [--quiet] [--metrics-out obs.json] \\
+          build --data ...
+    $ python -m repro monitor build --data ... --out dash/
 
 Data files are wrapped by extension:
 
@@ -104,6 +106,8 @@ def load_data(paths: list[str], graph_name: str) -> Graph:
             with recorder.span("mediator.fetch",
                                source=os.path.basename(path)):
                 merged.import_graph(load_data_file(path))
+                obs.emit_event("info", "mediator.fetch",
+                               source=os.path.basename(path))
         if html_pages:
             with recorder.span("mediator.fetch", source="html-pages"):
                 merged.import_graph(HtmlWrapper().wrap_pages(html_pages))
@@ -206,40 +210,110 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.empty else 3
 
 
+def _check_wrapped(rest: list[str], name: str) -> str | None:
+    """Validate a wrapped-command argument list; an error string or
+    ``None``."""
+    if not rest:
+        return (f"error: {name} needs a command to run, e.g. "
+                f"'repro {name} build ...'")
+    if rest[0] in ("trace", "monitor"):
+        return f"error: {name} cannot wrap {rest[0]!r}"
+    return None
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run another command with the observability layer enabled.
 
-    Prints the span tree and a metrics digest afterwards;
-    ``--metrics-out`` additionally writes the full JSON document
-    (bench-compatible: the same shape ``BENCH_obs.json`` uses).
+    Prints the span tree, the hotspot profile and a metrics digest
+    afterwards (``--quiet``: metrics digest only); ``--metrics-out``
+    additionally writes the full JSON document (bench-compatible: the
+    same shape ``BENCH_obs.json`` uses).  The wrapped command's exit
+    code is propagated.
     """
-    from repro.obs.export import render_metrics, render_tree, write_json
+    from repro.obs.export import (
+        render_metrics,
+        render_profile,
+        render_tree,
+        write_json,
+    )
+    from repro.obs.promexport import write_prometheus
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest = rest[1:]
-    if not rest:
-        print("error: trace needs a command to run, e.g. "
-              "'repro trace build ...'", file=sys.stderr)
-        return 2
-    if rest[0] == "trace":
-        print("error: trace cannot wrap itself", file=sys.stderr)
+    error = _check_wrapped(rest, "trace")
+    if error:
+        print(error, file=sys.stderr)
         return 2
     with obs.recording() as recorder:
         code = main(rest)
     print()
-    print("== trace " + "=" * 54)
-    print(render_tree(recorder))
-    print()
+    if not args.quiet:
+        print("== trace " + "=" * 54)
+        print(render_tree(recorder))
+        print()
+        print("== hotspots " + "=" * 51)
+        print(render_profile(recorder))
+        print()
     print("== metrics " + "=" * 52)
     print(render_metrics(recorder.metrics))
-    if args.metrics_out:
-        try:
+    try:
+        if args.metrics_out:
             write_json(recorder, args.metrics_out)
-        except OSError as exc:
-            print(f"error: cannot write {args.metrics_out}: {exc}",
-                  file=sys.stderr)
-            return code or 1
-        print(f"\nobservability JSON saved to {args.metrics_out}")
+            print(f"\nobservability JSON saved to {args.metrics_out}")
+        if args.prom_out:
+            write_prometheus(recorder.metrics, args.prom_out)
+            print(f"Prometheus exposition saved to {args.prom_out}")
+        if args.events_out:
+            count = recorder.events.write_jsonl(args.events_out)
+            print(f"{count} events saved to {args.events_out}")
+    except OSError as exc:
+        print(f"error: cannot write output: {exc}", file=sys.stderr)
+        return code or 1
+    return code
+
+
+def _claim_last_flag(rest: list[str], flag: str) -> str | None:
+    """Remove the last ``flag VALUE`` pair from ``rest``; the value."""
+    for i in range(len(rest) - 2, -1, -1):
+        if rest[i] == flag:
+            value = rest[i + 1]
+            del rest[i:i + 2]
+            return value
+    return None
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a command under observation, then publish the telemetry as a
+    STRUDEL-generated dashboard site.
+
+    The dashboard directory is ``--out`` given before the wrapped
+    command; otherwise the *last* ``--out DIR`` pair anywhere in the
+    command line is claimed for the dashboard (so
+    ``repro monitor build --data ... --out DIR`` puts the dashboard in
+    ``DIR``).  Alongside the HTML the directory gets ``metrics.prom``
+    (Prometheus exposition) and ``events.jsonl``.  The wrapped
+    command's exit code is propagated.
+    """
+    from repro.obs.promexport import write_prometheus
+    from repro.sites.monitor import build_monitor_site
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    out_dir = args.out or _claim_last_flag(rest, "--out") or "monitor-www"
+    error = _check_wrapped(rest, "monitor")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    with obs.recording() as recorder:
+        code = main(rest)
+    site = build_monitor_site(recorder)
+    os.makedirs(out_dir, exist_ok=True)
+    pages = site.generate(out_dir)
+    write_prometheus(recorder.metrics,
+                     os.path.join(out_dir, "metrics.prom"))
+    recorder.events.write_jsonl(os.path.join(out_dir, "events.jsonl"))
+    print(f"\nmonitoring dashboard: {len(pages)} pages in {out_dir} "
+          f"(start at Dashboard__.html)")
     return code
 
 
@@ -294,9 +368,27 @@ def make_parser() -> argparse.ArgumentParser:
         "trace", help="run a command with tracing + metrics enabled")
     trace.add_argument("--metrics-out",
                        help="write the spans+metrics JSON document here")
+    trace.add_argument("--prom-out",
+                       help="write Prometheus exposition text here")
+    trace.add_argument("--events-out",
+                       help="write the event log (JSONL) here")
+    trace.add_argument("--quiet", action="store_true",
+                       help="suppress the span tree and hotspot table "
+                            "(metrics digest only)")
     trace.add_argument("rest", nargs=argparse.REMAINDER,
                        help="the command to run, e.g. build --data ...")
     trace.set_defaults(fn=cmd_trace)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run a command, then generate the telemetry dashboard site")
+    monitor.add_argument("--out", default=None,
+                         help="dashboard output directory (may also be "
+                              "given as the last --out after the "
+                              "wrapped command; default monitor-www)")
+    monitor.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="the command to run, e.g. build --data ...")
+    monitor.set_defaults(fn=cmd_monitor)
     return parser
 
 

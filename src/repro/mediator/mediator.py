@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from repro.errors import MediatorError
 from repro.graph.model import Graph
-from repro.obs.trace import get_recorder
+from repro.obs.trace import emit_event, get_recorder
 from repro.repository.repository import Repository
 from repro.struql.ast import Query
 from repro.struql.evaluator import QueryEngine
@@ -105,6 +105,10 @@ class Mediator:
                     source_graph = self.source(mapping.input_name).load()
                     span.set(nodes=source_graph.node_count,
                              edges=source_graph.edge_count)
+                    emit_event("info", "mediator.fetch",
+                               source=mapping.input_name,
+                               nodes=source_graph.node_count,
+                               edges=source_graph.edge_count)
                 with recorder.span("mediator.map",
                                    source=mapping.input_name):
                     self.engine.evaluate(mapping, source_graph,

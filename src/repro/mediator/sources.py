@@ -16,7 +16,7 @@ from typing import Callable
 
 from repro.errors import AccessPatternError, MediatorError
 from repro.graph.model import Graph
-from repro.obs.trace import get_recorder
+from repro.obs.trace import emit_event, get_recorder
 
 #: Produces a source's current graph.  Parameterless for ordinary
 #: sources; limited-access sources receive keyword parameters.
@@ -40,6 +40,8 @@ class DataSource:
         recorder = get_recorder()
         with recorder.span("source.load", source=self.name):
             graph = self._loader(**parameters)
+            emit_event("debug", "source.load", source=self.name,
+                       version=self.version, load_count=self.load_count)
         recorder.metrics.counter("mediator.source_loads").inc()
         graph.name = self.name
         return graph

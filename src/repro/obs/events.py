@@ -1,0 +1,306 @@
+"""A leveled, structured event log correlated with the span tree.
+
+Spans (:mod:`repro.obs.trace`) answer *where time went*; events answer
+*what happened*: one :class:`Event` is a timestamped, leveled record
+with free-form attributes.  Every event emitted while a span is open
+carries that span's ``span_id`` and ``trace_id``, so log lines join to
+the trace tree — the textbook "logs correlated with traces" shape.
+
+Two sinks, both optional and composable:
+
+* a **bounded ring buffer** (:data:`EVENT_BUFFER_SIZE` records by
+  default) that keeps the most recent events in memory for exporters
+  and the monitoring dashboard, with O(capacity) memory however long
+  the run;
+* a **JSONL sink** — any writable text handle or a path opened via
+  :meth:`EventLog.open_sink` — that receives one JSON object per line
+  as events are emitted, the standard shape for offline ingestion.
+
+The module is deliberately independent of :mod:`repro.obs.trace`
+(callers pass the active span in); the convenience function
+:func:`repro.obs.trace.emit_event` wires the two together and is what
+instrumented pipeline code calls.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+#: Event severities, least to most severe.
+LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+#: Default ring-buffer capacity: enough to cover a full site build or a
+#: long crawl's tail without letting a pathological run grow memory.
+EVENT_BUFFER_SIZE = 2048
+
+
+def level_rank(level: str) -> int:
+    """Numeric severity of ``level``; raises ``ValueError`` if unknown."""
+    try:
+        return _LEVEL_RANK[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown event level {level!r}; expected one of {LEVELS}"
+        ) from None
+
+
+@dataclass
+class Event:
+    """One structured log record.
+
+    ``trace_id``/``span_id`` are the identifiers of the span that was
+    open when the event fired (empty/zero when none was), which is what
+    lets a log line be located inside the span tree.
+    """
+
+    seq: int
+    ts: float
+    level: str
+    name: str
+    message: str = ""
+    attributes: dict = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: int = 0
+    span: str = ""
+
+    def to_dict(self) -> dict:
+        """Plain-data form (the JSONL / export schema)."""
+        data = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "level": self.level,
+            "name": self.name,
+        }
+        if self.message:
+            data["message"] = self.message
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
+        if self.span_id:
+            data["span_id"] = self.span_id
+        if self.span:
+            data["span"] = self.span
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return Event(
+            seq=int(data.get("seq", 0)),
+            ts=float(data.get("ts", 0.0)),
+            level=str(data.get("level", "info")),
+            name=str(data.get("name", "")),
+            message=str(data.get("message", "")),
+            attributes=dict(data.get("attributes", ())),
+            trace_id=str(data.get("trace_id", "")),
+            span_id=int(data.get("span_id", 0)),
+            span=str(data.get("span", "")),
+        )
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class EventLog:
+    """Thread-safe leveled event collector with ring buffer + JSONL sink."""
+
+    def __init__(self, capacity: int = EVENT_BUFFER_SIZE,
+                 level: str = "debug") -> None:
+        self.capacity = capacity
+        self._threshold = level_rank(level)
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+        self._sink: IO[str] | None = None
+        self._sink_owned = False
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def level(self) -> str:
+        """The minimum severity currently recorded."""
+        return LEVELS[self._threshold]
+
+    def set_level(self, level: str) -> None:
+        """Drop events below ``level`` from now on."""
+        self._threshold = level_rank(level)
+
+    def attach_sink(self, handle: IO[str]) -> None:
+        """Stream every subsequent event to ``handle`` as JSON lines."""
+        with self._lock:
+            self._close_sink_locked()
+            self._sink = handle
+            self._sink_owned = False
+
+    def open_sink(self, path: str) -> None:
+        """Open ``path`` for writing and stream JSONL events into it."""
+        handle = open(path, "w", encoding="utf-8")
+        with self._lock:
+            self._close_sink_locked()
+            self._sink = handle
+            self._sink_owned = True
+
+    def _close_sink_locked(self) -> None:
+        if self._sink is not None and self._sink_owned:
+            self._sink.close()
+        self._sink = None
+        self._sink_owned = False
+
+    def close_sink(self) -> None:
+        """Detach (and close, if owned) the JSONL sink."""
+        with self._lock:
+            self._close_sink_locked()
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, level: str, name: str, message: str = "",
+             span=None, **attributes) -> Event | None:
+        """Record one event; returns it, or ``None`` when filtered.
+
+        ``span`` may be any object exposing ``name``/``span_id``/
+        ``trace_id`` (a :class:`repro.obs.trace.Span`); its identifiers
+        are copied onto the event so the record joins the trace tree.
+        """
+        if level_rank(level) < self._threshold:
+            return None
+        attrs = {key: _json_safe(value)
+                 for key, value in attributes.items()}
+        with self._lock:
+            self._seq += 1
+            if len(self._buffer) == self.capacity:
+                self._dropped += 1
+            event = Event(
+                seq=self._seq,
+                ts=time.time(),
+                level=level,
+                name=name,
+                message=message,
+                attributes=attrs,
+                trace_id=getattr(span, "trace_id", "") or "",
+                span_id=getattr(span, "span_id", 0) or 0,
+                span=(getattr(span, "name", "") or "") if span is not None
+                     and getattr(span, "span_id", 0) else "",
+            )
+            self._buffer.append(event)
+            sink = self._sink
+            if sink is not None:
+                sink.write(json.dumps(event.to_dict()) + "\n")
+        return event
+
+    def debug(self, name: str, message: str = "", span=None, **attrs):
+        return self.emit("debug", name, message, span=span, **attrs)
+
+    def info(self, name: str, message: str = "", span=None, **attrs):
+        return self.emit("info", name, message, span=span, **attrs)
+
+    def warning(self, name: str, message: str = "", span=None, **attrs):
+        return self.emit("warning", name, message, span=span, **attrs)
+
+    def error(self, name: str, message: str = "", span=None, **attrs):
+        return self.emit("error", name, message, span=span, **attrs)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring buffer by newer ones."""
+        return self._dropped
+
+    def records(self, level: str | None = None) -> list[Event]:
+        """The buffered events, oldest first; ``level`` filters by
+        minimum severity."""
+        with self._lock:
+            events = list(self._buffer)
+        if level is None:
+            return events
+        floor = level_rank(level)
+        return [e for e in events if level_rank(e.level) >= floor]
+
+    def to_dicts(self) -> list[dict]:
+        """Plain-data form of every buffered event (export shape)."""
+        return [event.to_dict() for event in self.records()]
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the current buffer to ``path`` as JSON lines; returns
+        the number of records written."""
+        events = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        return len(events)
+
+    def clear(self) -> None:
+        """Forget buffered events (the sink, if any, stays attached)."""
+        with self._lock:
+            self._buffer.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+def read_jsonl(text: str) -> list[Event]:
+    """Parse JSONL text (one event per line) back into events."""
+    events: list[Event] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+class NullEventLog:
+    """The disabled fast path: records nothing, as cheaply as possible."""
+
+    __slots__ = ()
+    capacity = 0
+    level = "error"
+    dropped = 0
+
+    def set_level(self, level: str) -> None:
+        pass
+
+    def attach_sink(self, handle) -> None:
+        pass
+
+    def open_sink(self, path: str) -> None:
+        pass
+
+    def close_sink(self) -> None:
+        pass
+
+    def emit(self, *args, **kwargs) -> None:
+        return None
+
+    debug = info = warning = error = emit
+
+    def records(self, level: str | None = None) -> list:
+        return []
+
+    def to_dicts(self) -> list:
+        return []
+
+    def write_jsonl(self, path: str) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_EVENTS = NullEventLog()

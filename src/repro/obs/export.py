@@ -3,22 +3,31 @@
 Two output shapes:
 
 * :func:`export_state` / :func:`to_json` — a plain-data document
-  (``{"spans": [...], "metrics": {...}}``) that benchmark harnesses can
-  write next to their timing tables and diff across runs;
-* :func:`render_tree` — a human-readable span tree with millisecond
-  durations and attributes, the console form shown by
-  ``repro trace <command>``.
+  (``{"spans": [...], "metrics": {...}, "events": [...]}``) that
+  benchmark harnesses can write next to their timing tables and diff
+  across runs;
+* :func:`render_tree` / :func:`render_metrics` / :func:`render_profile`
+  — human-readable forms: the span tree with millisecond durations, the
+  metrics digest, and the "top hotspots" flat/cumulative profile table,
+  the console forms shown by ``repro trace <command>``.
 
-:func:`from_json` reconstructs :class:`~repro.obs.trace.Span` trees from
-the JSON document, so exported traces round-trip for offline analysis.
+:func:`from_json` reconstructs :class:`~repro.obs.trace.Span` trees and
+:class:`~repro.obs.events.Event` records from the JSON document, so
+exported traces round-trip for offline analysis.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.obs.events import Event
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
-from repro.obs.trace import NullRecorder, Span, TraceRecorder
+from repro.obs.trace import (
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    aggregate_profile,
+)
 
 Recorder = TraceRecorder | NullRecorder
 
@@ -44,6 +53,10 @@ def span_to_dict(span: Span, max_depth: int | None = None) -> dict:
                        for k, v in span.attributes.items()},
         "children": [],
     }
+    if span.span_id:
+        data["span_id"] = span.span_id
+    if span.trace_id:
+        data["trace_id"] = span.trace_id
     if max_depth is not None and max_depth <= 1:
         pruned = sum(1 for c in span.children for _ in c.walk())
         if pruned:
@@ -61,7 +74,9 @@ def span_from_dict(data: dict) -> Span:
     attributes and structure survive the round trip.
     """
     span = Span(data["name"], dict(data.get("attributes", ())),
-                start=0.0, end=float(data.get("seconds", 0.0)))
+                start=0.0, end=float(data.get("seconds", 0.0)),
+                span_id=int(data.get("span_id", 0)),
+                trace_id=str(data.get("trace_id", "")))
     span.children = [span_from_dict(c) for c in data.get("children", ())]
     return span
 
@@ -79,6 +94,7 @@ def export_state(recorder: Recorder,
         "spans": [span_to_dict(root, max_depth)
                   for root in recorder.roots],
         "metrics": recorder.metrics.as_dict(),
+        "events": recorder.events.to_dicts(),
     }
 
 
@@ -87,11 +103,13 @@ def to_json(recorder: Recorder, indent: int | None = 2) -> str:
     return json.dumps(export_state(recorder), indent=indent)
 
 
-def from_json(text: str) -> tuple[list[Span], dict]:
-    """Parse :func:`to_json` output back into spans + metrics dict."""
+def from_json(text: str) -> tuple[list[Span], dict, list[Event]]:
+    """Parse :func:`to_json` output back into spans, the metrics dict,
+    and the buffered event records."""
     data = json.loads(text)
     spans = [span_from_dict(d) for d in data.get("spans", ())]
-    return spans, data.get("metrics", {})
+    events = [Event.from_dict(d) for d in data.get("events", ())]
+    return spans, data.get("metrics", {}), events
 
 
 def write_json(recorder: Recorder, path: str) -> None:
@@ -152,3 +170,30 @@ def render_metrics(metrics: MetricsRegistry | NullMetricsRegistry) -> str:
                 f"p90={summary['p90'] * 1000:.2f}ms "
                 f"p99={summary['p99'] * 1000:.2f}ms")
     return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_profile(source: Recorder | list[Span],
+                   limit: int = 15) -> str:
+    """The "top hotspots" table: per-stage self/cumulative times.
+
+    One row per distinct span name, sorted by self time (see
+    :func:`~repro.obs.trace.aggregate_profile`), truncated to the
+    ``limit`` hottest stages.
+    """
+    entries = aggregate_profile(source)
+    if not entries:
+        return "(no spans recorded)"
+    total_self = sum(e.self_seconds for e in entries) or 1.0
+    shown = entries[:limit]
+    width = max(len("stage"), max(len(e.name) for e in shown))
+    lines = [f"{'stage'.ljust(width)}  {'calls':>6}  {'self ms':>10}  "
+             f"{'cum ms':>10}  {'self %':>6}"]
+    for entry in shown:
+        lines.append(
+            f"{entry.name.ljust(width)}  {entry.calls:>6}  "
+            f"{entry.self_seconds * 1000:>10.2f}  "
+            f"{entry.cum_seconds * 1000:>10.2f}  "
+            f"{entry.self_seconds / total_self * 100:>6.1f}")
+    if len(entries) > limit:
+        lines.append(f"... and {len(entries) - limit} more stages")
+    return "\n".join(lines)

@@ -146,8 +146,27 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, observations <= bound)`` pairs, Prometheus
+        style: counts are cumulative and the final pair's bound is
+        ``inf`` (the ``+Inf`` bucket), whose count equals ``count``."""
+        with self._lock:
+            pairs: list[tuple[float, int]] = []
+            running = 0
+            for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+                running += bucket_count
+                pairs.append((bound, running))
+            pairs.append((math.inf, self.count))
+            return pairs
+
     def summary(self) -> dict:
-        """The exportable digest of this histogram."""
+        """The exportable digest of this histogram.
+
+        ``buckets`` lists cumulative ``[upper_bound, count]`` pairs
+        (the ``+Inf`` bound serialized as the string ``"+Inf"`` so the
+        digest stays valid JSON), which is enough detail to re-render
+        a Prometheus exposition from an exported document.
+        """
         empty = self.count == 0
         return {
             "count": self.count,
@@ -159,6 +178,8 @@ class Histogram:
             "p90": self.p90,
             "p95": self.p95,
             "p99": self.p99,
+            "buckets": [["+Inf" if math.isinf(bound) else bound, count]
+                        for bound, count in self.cumulative_buckets()],
         }
 
     def __repr__(self) -> str:

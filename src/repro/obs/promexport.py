@@ -1,0 +1,143 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+Renders every instrument of a :class:`~repro.obs.metrics.MetricsRegistry`
+(or of its :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` document,
+so exported JSON re-renders identically) in the Prometheus *text
+exposition format*, version 0.0.4:
+
+* counters gain the conventional ``_total`` suffix;
+* gauges expose their last-written value;
+* histograms emit cumulative ``<name>_bucket{le="..."}`` series ending
+  with ``le="+Inf"``, then ``<name>_sum`` and ``<name>_count``.
+
+Instrument names such as ``struql.rows_created`` are sanitized into the
+metric-name grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``) by replacing illegal
+characters with ``_``; the original name is preserved in the ``# HELP``
+line.  :func:`parse_prometheus` reads the exposition back into plain
+data — enough for round-trip tests and for the dashboard, not a full
+client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+
+#: Default prefix stamped onto every exported metric name.
+DEFAULT_PREFIX = "strudel"
+
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """``prefix`` + ``name`` mapped into the Prometheus name grammar."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_ILLEGAL.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _as_document(metrics) -> dict:
+    if isinstance(metrics, (MetricsRegistry, NullMetricsRegistry)):
+        return metrics.as_dict()
+    return metrics
+
+
+def _histogram_lines(name: str, summary: dict, prefix: str,
+                     lines: list[str]) -> None:
+    base = sanitize_name(name, prefix)
+    lines.append(f"# HELP {base} Histogram of {name} (seconds).")
+    lines.append(f"# TYPE {base} histogram")
+    buckets = summary.get("buckets")
+    if buckets is None:
+        # Degraded document (older export without bucket detail):
+        # expose the +Inf bucket only, which still satisfies the
+        # format's "must end with +Inf == count" rule.
+        buckets = [["+Inf", summary.get("count", 0)]]
+    for bound, cumulative in buckets:
+        le = "+Inf" if bound == "+Inf" or (
+            isinstance(bound, float) and math.isinf(bound)
+        ) else _format_value(float(bound))
+        lines.append(f'{base}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f"{base}_sum {_format_value(summary.get('sum', 0.0))}")
+    lines.append(f"{base}_count {summary.get('count', 0)}")
+
+
+def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX) -> str:
+    """The registry (or its ``as_dict`` document) as exposition text.
+
+    Every registered counter, gauge and histogram appears exactly once;
+    output ends with a newline as the format requires.
+    """
+    data = _as_document(metrics)
+    lines: list[str] = []
+    for name, value in data.get("counters", {}).items():
+        base = sanitize_name(name, prefix) + "_total"
+        lines.append(f"# HELP {base} Counter {name}.")
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format_value(value)}")
+    for name, value in data.get("gauges", {}).items():
+        base = sanitize_name(name, prefix)
+        lines.append(f"# HELP {base} Gauge {name}.")
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(value)}")
+    for name, summary in data.get("histograms", {}).items():
+        _histogram_lines(name, summary, prefix, lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(metrics, path: str,
+                     prefix: str = DEFAULT_PREFIX) -> None:
+    """Write :func:`to_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(metrics, prefix))
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Exposition text back into plain data, for tests and tooling.
+
+    Returns ``{"types": {name: type}, "samples": [(name, labels,
+    value), ...]}`` where ``labels`` is a dict and ``value`` a float
+    (``+Inf`` parses to ``math.inf``).
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = {m.group("key"): m.group("val")
+                  for m in _LABEL.finditer(match.group("labels") or "")}
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else (
+            -math.inf if raw == "-Inf" else float(raw))
+        samples.append((match.group("name"), labels, value))
+    return {"types": types, "samples": samples}

@@ -31,12 +31,14 @@ Two span APIs with different disabled-cost trade-offs:
 from __future__ import annotations
 
 import functools
+import itertools
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
+from repro.obs.events import EventLog, NULL_EVENTS, NullEventLog
 from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
@@ -46,13 +48,21 @@ from repro.obs.metrics import (
 
 @dataclass
 class Span:
-    """One timed, attributed region of work."""
+    """One timed, attributed region of work.
+
+    ``span_id`` and ``trace_id`` are assigned by the recorder when the
+    span joins a trace: ids are unique and stable within one recorder's
+    lifetime, and every span of a tree shares its root's ``trace_id`` —
+    the join key used by the event log and the request log.
+    """
 
     name: str
     attributes: dict = field(default_factory=dict)
     start: float = 0.0
     end: float | None = None
     children: list["Span"] = field(default_factory=list)
+    span_id: int = 0
+    trace_id: str = ""
 
     @property
     def seconds(self) -> float:
@@ -91,6 +101,8 @@ class _NoopSpan:
     attributes: dict = {}
     children: list = []
     seconds = 0.0
+    span_id = 0
+    trace_id = ""
 
     def set(self, **attrs) -> "_NoopSpan":
         return self
@@ -127,6 +139,7 @@ class NullRecorder:
 
     def __init__(self) -> None:
         self.metrics: NullMetricsRegistry = NULL_METRICS
+        self.events: NullEventLog = NULL_EVENTS
 
     @property
     def roots(self) -> list[Span]:
@@ -164,9 +177,14 @@ class TraceRecorder:
     def __init__(self, name: str = "trace") -> None:
         self.name = name
         self.metrics = MetricsRegistry()
+        self.events = EventLog()
         self.roots: list[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # itertools.count.__next__ is atomic under the GIL, so id
+        # assignment needs no extra locking.
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
 
     # -- span stack ------------------------------------------------------------
 
@@ -183,11 +201,20 @@ class TraceRecorder:
         return stack[-1] if stack else None
 
     def push(self, span: Span) -> None:
-        """Attach ``span`` under the current span (or as a new root)."""
+        """Attach ``span`` under the current span (or as a new root).
+
+        Assigns the span's stable ``span_id`` and propagates the root's
+        ``trace_id`` down the tree.
+        """
         stack = self._stack()
+        if not span.span_id:
+            span.span_id = next(self._span_ids)
         if stack:
+            span.trace_id = stack[-1].trace_id
             stack[-1].children.append(span)
         else:
+            if not span.trace_id:
+                span.trace_id = f"{self.name}-{next(self._trace_ids)}"
             with self._lock:
                 self.roots.append(span)
         stack.append(span)
@@ -211,10 +238,11 @@ class TraceRecorder:
             self.pop(span)
 
     def clear(self) -> None:
-        """Drop collected spans and reset every metric."""
+        """Drop collected spans, events, and reset every metric."""
         with self._lock:
             self.roots.clear()
         self.metrics.reset()
+        self.events.clear()
 
 
 # -- the process-global recorder ---------------------------------------------
@@ -280,6 +308,19 @@ def histogram(name: str, buckets=None):
     return _recorder.metrics.histogram(name, buckets=buckets)
 
 
+def emit_event(level: str, name: str, message: str = "",
+               **attributes):
+    """Emit a structured event on the active recorder's event log.
+
+    The record carries the ids of the innermost open span on this
+    thread (if any), so log lines join the span tree.  A no-op (one
+    attribute lookup plus a no-op call) while recording is disabled.
+    """
+    recorder = _recorder
+    return recorder.events.emit(level, name, message,
+                                span=recorder.current(), **attributes)
+
+
 @contextmanager
 def timed(name: str, **attrs) -> Iterator[Span]:
     """A *real* span even when recording is disabled.
@@ -314,6 +355,62 @@ def traced(name: str | None = None, **attrs) -> Callable:
                 return fn(*args, **kwargs)
         return inner
     return wrap
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregated timing of every span sharing one name (one *stage*)."""
+
+    name: str
+    calls: int = 0
+    self_seconds: float = 0.0
+    cum_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean cumulative seconds per call."""
+        return self.cum_seconds / self.calls if self.calls else 0.0
+
+
+def aggregate_profile(source: "TraceRecorder | NullRecorder | "
+                              "Iterable[Span]") -> list[ProfileEntry]:
+    """Per-name flat/cumulative profile over a span forest.
+
+    For each distinct span name: call count, **self** time (the span's
+    duration minus its direct children — where the time was actually
+    spent) and **cumulative** time (whole subtrees; re-entrant spans of
+    the same name are counted once per outermost occurrence, the
+    standard profiler convention, so recursion does not double-count).
+    Entries come back sorted by self time, largest first — the "top
+    hotspots" order.
+    """
+    roots = source if isinstance(source, (list, tuple)) \
+        else getattr(source, "roots", None)
+    if roots is None:
+        roots = list(source)  # any other iterable of spans
+    entries: dict[str, ProfileEntry] = {}
+    active: dict[str, int] = {}
+
+    def visit(span: Span) -> None:
+        entry = entries.get(span.name)
+        if entry is None:
+            entry = entries[span.name] = ProfileEntry(span.name)
+        seconds = span.seconds
+        entry.calls += 1
+        entry.self_seconds += max(
+            seconds - sum(child.seconds for child in span.children), 0.0)
+        depth = active.get(span.name, 0)
+        if depth == 0:
+            entry.cum_seconds += seconds
+        active[span.name] = depth + 1
+        for child in span.children:
+            visit(child)
+        active[span.name] = depth
+
+    for root in roots:
+        visit(root)
+    return sorted(entries.values(),
+                  key=lambda e: e.self_seconds, reverse=True)
 
 
 @dataclass

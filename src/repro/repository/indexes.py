@@ -29,7 +29,7 @@ from typing import Iterable
 
 from repro.graph.model import Edge, Graph, GraphObject, Oid
 from repro.graph.values import Atom
-from repro.obs.trace import get_recorder
+from repro.obs.trace import emit_event, get_recorder
 
 
 class GraphIndex:
@@ -71,6 +71,9 @@ class GraphIndex:
             self._built = True
             span.set(labels=len(self._labels),
                      values=len(self._value_index))
+            emit_event("info", "index.build", graph=self.graph.name,
+                       labels=len(self._labels),
+                       values=len(self._value_index))
         recorder.metrics.counter("repository.index.builds").inc()
         recorder.metrics.gauge("repository.index.labels").set(
             len(self._labels))

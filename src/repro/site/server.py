@@ -15,17 +15,33 @@ long crawls no longer grow an unbounded latency list.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import random
 from dataclasses import dataclass
 
 from repro.errors import PageNotFoundError
 from repro.graph.model import Graph, Oid
-from repro.obs.metrics import Histogram
-from repro.obs.trace import TimedResult, get_recorder, timed
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
 from repro.site.incremental import DynamicSite, LazySiteGraph
 from repro.struql.ast import Query
 from repro.struql.evaluator import QueryEngine
 from repro.templates.generator import HtmlGenerator, TemplateSet
+
+#: Histogram bucket bounds (seconds) for request latencies — the shared
+#: per-request defaults (100 µs .. 10 s, roughly geometric).
+SERVER_LATENCY_BUCKETS: tuple[float, ...] = DEFAULT_BUCKETS
+
+#: Reservoir size for the raw-latency sample: large enough for stable
+#: percentile sanity checks, small enough to stay O(1) per crawl.
+SERVER_RESERVOIR_SIZE = 512
+
+#: Fixed seed for the reservoir's RNG so crawls sample reproducibly.
+SERVER_RESERVOIR_SEED = 0x5EED
+
+#: How many slowest requests the log keeps for the dashboard.
+SERVER_SLOWEST_KEPT = 16
 
 
 @dataclass
@@ -35,6 +51,7 @@ class Response(TimedResult):
     oid: Oid
     status: int
     body: str
+    request_id: str = ""
 
 
 class ServerLog:
@@ -44,22 +61,39 @@ class ServerLog:
     (bounded memory, percentile summaries) plus a small reservoir
     sample.  The old unbounded ``latencies`` list is deprecated: the
     property now exposes the reservoir as a read-only tuple, capped at
-    :attr:`MAX_SAMPLES` entries however long the crawl.
+    :data:`SERVER_RESERVOIR_SIZE` entries however long the crawl.  The
+    log also keeps the :data:`SERVER_SLOWEST_KEPT` slowest requests
+    (id, page, status, seconds) for the monitoring dashboard, and
+    :meth:`snapshot` returns the whole picture as a plain dict.
     """
 
-    #: Reservoir size for the raw-latency sample.
-    MAX_SAMPLES = 512
+    #: Back-compat alias of :data:`SERVER_RESERVOIR_SIZE`.
+    MAX_SAMPLES = SERVER_RESERVOIR_SIZE
 
     def __init__(self) -> None:
         self.requests = 0
         self.errors = 0
         self.total_seconds = 0.0
-        self.histogram = Histogram("server.request_seconds")
+        self.histogram = Histogram("server.request_seconds",
+                                   SERVER_LATENCY_BUCKETS)
         self._samples: list[float] = []
-        self._rng = random.Random(0x5EED)
+        self._rng = random.Random(SERVER_RESERVOIR_SEED)
+        self._request_ids = itertools.count(1)
+        # Min-heap of (seconds, tiebreak, entry) keeping the slowest.
+        self._slowest: list[tuple[float, int, dict]] = []
+        self._slowest_seq = itertools.count()
 
-    def record(self, seconds: float) -> None:
-        """Account one served request's latency."""
+    def next_request_id(self) -> str:
+        """A fresh stable request id (``req-1``, ``req-2``, ...)."""
+        return f"req-{next(self._request_ids)}"
+
+    def record(self, seconds: float, request_id: str = "",
+               page: str = "", status: int | None = None) -> None:
+        """Account one served request's latency.
+
+        ``request_id``/``page``/``status`` are optional context; when
+        given, the request competes for the slowest-requests table.
+        """
         self.total_seconds += seconds
         self.histogram.observe(seconds)
         get_recorder().metrics.histogram(
@@ -70,6 +104,34 @@ class ServerLog:
             slot = self._rng.randrange(self.histogram.count)
             if slot < self.MAX_SAMPLES:
                 self._samples[slot] = seconds
+        if request_id or page:
+            entry = {"id": request_id, "page": page,
+                     "status": status, "seconds": seconds}
+            item = (seconds, next(self._slowest_seq), entry)
+            if len(self._slowest) < SERVER_SLOWEST_KEPT:
+                heapq.heappush(self._slowest, item)
+            elif seconds > self._slowest[0][0]:
+                heapq.heapreplace(self._slowest, item)
+
+    @property
+    def slowest(self) -> list[dict]:
+        """The slowest recorded requests, slowest first."""
+        return [entry for _, _, entry in
+                sorted(self._slowest, reverse=True)]
+
+    def snapshot(self) -> dict:
+        """The full request-log state as a plain dict (dashboard food)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "total_seconds": self.total_seconds,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "histogram": self.histogram.summary(),
+            "samples": list(self._samples),
+            "slowest": self.slowest,
+        }
 
     @property
     def latencies(self) -> tuple[float, ...]:
@@ -134,9 +196,16 @@ class DynamicSiteServer:
         return self._url_map.get(wanted)
 
     def request(self, page: Oid | str) -> Response:
-        """Serve one page by oid or URL path."""
+        """Serve one page by oid or URL path.
+
+        Every request gets a stable id (``req-N``) stamped onto its
+        span, its :class:`Response`, and the events it emits, so one
+        request's records correlate across the span tree, the event
+        log and the slowest-requests table.
+        """
         self.log.requests += 1
-        with timed("server.request") as span:
+        request_id = self.log.next_request_id()
+        with timed("server.request", request=request_id) as span:
             oid = page if isinstance(page, Oid) else self.resolve_path(page)
             try:
                 if oid is None:
@@ -151,11 +220,19 @@ class DynamicSiteServer:
                 status = 404
                 self.log.errors += 1
                 get_recorder().metrics.counter("server.errors").inc()
+                emit_event("warning", "server.not_found",
+                           f"no page for {page}",
+                           request=request_id, page=str(page))
             span.set(page=str(page), status=status)
-        self.log.record(span.seconds)
+            # Emit before the span closes so the event carries its ids.
+            emit_event("info", "server.request", request=request_id,
+                       page=str(page), status=status,
+                       ms=round(span.seconds * 1000, 3))
+        self.log.record(span.seconds, request_id=request_id,
+                        page=str(page), status=status)
         get_recorder().metrics.counter("server.requests").inc()
         return Response(oid if isinstance(oid, Oid) else Oid("<unknown>"),
-                        status, body, span=span)
+                        status, body, span=span, request_id=request_id)
 
     def crawl(self, start: Oid | None = None,
               limit: int | None = None) -> list[Response]:

@@ -9,6 +9,10 @@ One module per site the paper reports on in section 5.1:
 * :mod:`repro.sites.org` — the AT&T Labs internal/external pair over
   five mediated sources;
 * :mod:`repro.sites.rodin` — the bilingual INRIA-Rodin site.
+
+:mod:`repro.sites.monitor` is the odd one out: not from the paper, it
+dogfoods the pipeline on STRUDEL's own telemetry (the ``repro monitor``
+dashboard).
 """
 
 from repro.sites.cnn import (
@@ -29,6 +33,12 @@ from repro.sites.homepage import (
     fig7_templates,
     mff_data,
     mff_templates,
+)
+from repro.sites.monitor import (
+    MONITOR_QUERY,
+    build_monitor_site,
+    monitor_templates,
+    telemetry_graph,
 )
 from repro.sites.org import (
     EXTERNAL_OVERRIDES,
@@ -51,6 +61,7 @@ __all__ = [
     "FIG3_QUERY",
     "MFF_EXTERNAL_OVERRIDES",
     "MFF_QUERY",
+    "MONITOR_QUERY",
     "PERSONAL_DDL",
     "ORG_EXTERNAL_QUERY",
     "ORG_QUERY",
@@ -59,6 +70,7 @@ __all__ = [
     "build_cnn_site",
     "build_homepage_site",
     "build_mff_site",
+    "build_monitor_site",
     "build_org_site",
     "build_rodin_site",
     "cnn_templates",
@@ -67,6 +79,8 @@ __all__ = [
     "generate_rodin_records",
     "mff_data",
     "mff_templates",
+    "monitor_templates",
     "org_templates",
+    "telemetry_graph",
     "rodin_templates",
 ]

@@ -1,0 +1,370 @@
+"""The monitoring dashboard: STRUDEL dogfooding its own telemetry.
+
+The paper's thesis is that *any* data graph can be published as a
+browsable site through a StruQL site-definition query plus HTML
+templates.  This module applies that thesis to STRUDEL's own
+observability data: :func:`telemetry_graph` converts a trace recorder
+(spans, metrics, events) and an optional server request log into an
+ordinary STRUDEL data graph, :data:`MONITOR_QUERY` restructures it into
+a site graph, and :func:`monitor_templates` renders the result — an
+overview page linking to per-stage hotspot pages, span-tree trace
+drilldowns, metrics tables, a slowest-requests page and the event log.
+No HTML is hand-written per run: the dashboard is a generated STRUDEL
+site like any other, exposed as ``repro monitor <command> --out DIR``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.model import Graph, Oid
+from repro.graph.values import Atom
+from repro.obs.trace import (
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    aggregate_profile,
+)
+from repro.site.builder import Website
+from repro.templates.generator import TemplateSet
+
+#: Cap on span nodes converted into the telemetry graph — a long crawl
+#: records far more spans than a dashboard can usefully show.
+MAX_SPAN_NODES = 4000
+
+#: Collections the telemetry graph always declares (so the query's
+#: where clauses are well-formed even over an idle recorder).
+TELEMETRY_COLLECTIONS = (
+    "Spans", "Traces", "Stages", "Counters", "Gauges", "Histograms",
+    "Events", "Requests", "Summary",
+)
+
+
+def _ms(seconds: float) -> Atom:
+    return Atom.float(round(seconds * 1000, 3))
+
+
+def _span_nodes(graph: Graph, roots: list[Span], budget: int) -> int:
+    """Convert span trees into graph nodes; returns how many made it."""
+    made = 0
+    fallback_ids = iter(range(-1, -(budget + 2), -1))
+
+    def convert(span: Span) -> Oid | None:
+        nonlocal made
+        if made >= budget:
+            return None
+        made += 1
+        ident = span.span_id or next(fallback_ids)
+        oid = graph.add_node(Oid(f"span-{ident}"))
+        graph.add_to_collection("Spans", oid)
+        graph.add_edge(oid, "name", Atom.string(span.name))
+        graph.add_edge(oid, "ms", _ms(span.seconds))
+        child_seconds = sum(c.seconds for c in span.children)
+        graph.add_edge(oid, "self_ms",
+                       _ms(max(span.seconds - child_seconds, 0.0)))
+        if span.trace_id:
+            graph.add_edge(oid, "trace", Atom.string(span.trace_id))
+        if span.attributes:
+            detail = ", ".join(f"{k}={v}"
+                               for k, v in span.attributes.items())
+            graph.add_edge(oid, "attrs", Atom.string(detail))
+        for child in span.children:
+            child_oid = convert(child)
+            if child_oid is not None:
+                graph.add_edge(oid, "child", child_oid)
+        return oid
+
+    for root in roots:
+        root_oid = convert(root)
+        if root_oid is not None:
+            graph.add_to_collection("Traces", root_oid)
+    return made
+
+
+def _metric_nodes(graph: Graph, metrics: dict) -> None:
+    for name, value in metrics.get("counters", {}).items():
+        oid = graph.add_node(Oid(f"counter-{name}"))
+        graph.add_to_collection("Counters", oid)
+        graph.add_edge(oid, "name", Atom.string(name))
+        graph.add_edge(oid, "value", Atom.of(value))
+    for name, value in metrics.get("gauges", {}).items():
+        oid = graph.add_node(Oid(f"gauge-{name}"))
+        graph.add_to_collection("Gauges", oid)
+        graph.add_edge(oid, "name", Atom.string(name))
+        graph.add_edge(oid, "value", Atom.of(value))
+    for name, summary in metrics.get("histograms", {}).items():
+        oid = graph.add_node(Oid(f"hist-{name}"))
+        graph.add_to_collection("Histograms", oid)
+        graph.add_edge(oid, "name", Atom.string(name))
+        graph.add_edge(oid, "count", Atom.int(summary.get("count", 0)))
+        graph.add_edge(oid, "mean_ms", _ms(summary.get("mean", 0.0)))
+        for quantile in ("p50", "p90", "p95", "p99"):
+            graph.add_edge(oid, f"{quantile}_ms",
+                           _ms(summary.get(quantile, 0.0)))
+        graph.add_edge(oid, "max_ms", _ms(summary.get("max", 0.0)))
+
+
+def telemetry_graph(recorder: TraceRecorder | NullRecorder,
+                    server_log=None,
+                    max_spans: int = MAX_SPAN_NODES) -> Graph:
+    """A recorder's telemetry as an ordinary STRUDEL data graph.
+
+    ``server_log`` is an optional :class:`~repro.site.server.ServerLog`
+    (or its :meth:`~repro.site.server.ServerLog.snapshot` dict) whose
+    slowest-requests table becomes the ``Requests`` collection.
+    """
+    graph = Graph("TELEMETRY")
+    for name in TELEMETRY_COLLECTIONS:
+        graph.declare_collection(name)
+
+    span_count = _span_nodes(graph, list(recorder.roots), max_spans)
+
+    for entry in aggregate_profile(recorder):
+        oid = graph.add_node(Oid(f"stage-{entry.name}"))
+        graph.add_to_collection("Stages", oid)
+        graph.add_edge(oid, "name", Atom.string(entry.name))
+        graph.add_edge(oid, "calls", Atom.int(entry.calls))
+        graph.add_edge(oid, "self_ms", _ms(entry.self_seconds))
+        graph.add_edge(oid, "cum_ms", _ms(entry.cum_seconds))
+        graph.add_edge(oid, "avg_ms", _ms(entry.mean_seconds))
+
+    metrics = recorder.metrics.as_dict()
+    _metric_nodes(graph, metrics)
+
+    events = recorder.events.records()
+    for event in events:
+        oid = graph.add_node(Oid(f"event-{event.seq}"))
+        graph.add_to_collection("Events", oid)
+        graph.add_edge(oid, "seq", Atom.int(event.seq))
+        graph.add_edge(oid, "level", Atom.string(event.level))
+        graph.add_edge(oid, "name", Atom.string(event.name))
+        if event.message:
+            graph.add_edge(oid, "message", Atom.string(event.message))
+        if event.span:
+            graph.add_edge(oid, "span", Atom.string(event.span))
+        if event.trace_id:
+            graph.add_edge(oid, "trace", Atom.string(event.trace_id))
+        if event.attributes:
+            detail = ", ".join(f"{k}={v}"
+                               for k, v in event.attributes.items())
+            graph.add_edge(oid, "detail", Atom.string(detail))
+
+    if server_log is not None:
+        snapshot = server_log if isinstance(server_log, dict) \
+            else server_log.snapshot()
+        for rank, entry in enumerate(snapshot.get("slowest", ()), 1):
+            oid = graph.add_node(Oid(f"request-{rank}"))
+            graph.add_to_collection("Requests", oid)
+            graph.add_edge(oid, "rank", Atom.int(rank))
+            graph.add_edge(oid, "id", Atom.string(entry.get("id") or "-"))
+            graph.add_edge(oid, "page",
+                           Atom.string(entry.get("page") or "-"))
+            graph.add_edge(oid, "status",
+                           Atom.int(entry.get("status") or 0))
+            graph.add_edge(oid, "ms", _ms(entry.get("seconds", 0.0)))
+
+    summary = graph.add_node(Oid("summary"))
+    graph.add_to_collection("Summary", summary)
+    graph.add_edge(summary, "spans", Atom.int(span_count))
+    graph.add_edge(summary, "traces", Atom.int(len(recorder.roots)))
+    graph.add_edge(summary, "counters",
+                   Atom.int(len(metrics.get("counters", {}))))
+    graph.add_edge(summary, "gauges",
+                   Atom.int(len(metrics.get("gauges", {}))))
+    graph.add_edge(summary, "histograms",
+                   Atom.int(len(metrics.get("histograms", {}))))
+    graph.add_edge(summary, "events", Atom.int(len(events)))
+    graph.add_edge(summary, "generated", Atom.string(
+        time.strftime("%Y-%m-%d %H:%M:%S")))
+    return graph
+
+
+#: The site-definition query: telemetry graph in, dashboard site out.
+#: ``SpanCard`` and ``SpanTree`` are two Skolem views of the *same*
+#: span node — a flat row listed on stage pages, and a recursive
+#: drilldown embedded in trace pages — so stage listings don't
+#: duplicate whole subtrees.
+MONITOR_QUERY = """
+INPUT TELEMETRY
+CREATE Dashboard(), StageIndex(), TraceIndex(), MetricsPage(),
+       RequestsPage(), EventsPage()
+LINK Dashboard() -> "Stages" -> StageIndex(),
+     Dashboard() -> "Traces" -> TraceIndex(),
+     Dashboard() -> "Metrics" -> MetricsPage(),
+     Dashboard() -> "Requests" -> RequestsPage(),
+     Dashboard() -> "Events" -> EventsPage()
+// Overview numbers straight off the summary node
+{ WHERE Summary(m), m -> l -> v
+  LINK Dashboard() -> l -> v
+}
+// Per-stage hotspot pages, listed from the stage index
+{ WHERE Stages(s), s -> l -> v
+  CREATE StagePage(s)
+  LINK StagePage(s) -> l -> v,
+       StageIndex() -> "Stage" -> StagePage(s)
+  { WHERE l = "name", Spans(x), x -> "name" -> v
+    LINK StagePage(s) -> "Span" -> SpanCard(x)
+  }
+}
+// Every span as a flat card and as a tree node
+{ WHERE Spans(x), x -> l -> v, not(l = "child")
+  CREATE SpanCard(x), SpanTree(x)
+  LINK SpanCard(x) -> l -> v,
+       SpanTree(x) -> l -> v
+}
+{ WHERE Spans(x), x -> "child" -> y
+  LINK SpanTree(x) -> "Child" -> SpanTree(y)
+}
+// One drilldown page per trace root
+{ WHERE Traces(t), t -> l -> v, not(l = "child")
+  CREATE TracePage(t)
+  LINK TracePage(t) -> l -> v,
+       TracePage(t) -> "Root" -> SpanTree(t),
+       TraceIndex() -> "Trace" -> TracePage(t)
+}
+// Metrics tables
+{ WHERE Counters(c), c -> l -> v
+  CREATE CounterRow(c)
+  LINK CounterRow(c) -> l -> v,
+       MetricsPage() -> "Counter" -> CounterRow(c)
+}
+{ WHERE Gauges(g), g -> l -> v
+  CREATE GaugeRow(g)
+  LINK GaugeRow(g) -> l -> v,
+       MetricsPage() -> "Gauge" -> GaugeRow(g)
+}
+{ WHERE Histograms(h), h -> l -> v
+  CREATE HistRow(h)
+  LINK HistRow(h) -> l -> v,
+       MetricsPage() -> "Histogram" -> HistRow(h)
+}
+// Slowest requests
+{ WHERE Requests(r), r -> l -> v
+  CREATE RequestRow(r)
+  LINK RequestRow(r) -> l -> v,
+       RequestsPage() -> "Request" -> RequestRow(r)
+}
+// Event log
+{ WHERE Events(e), e -> l -> v
+  CREATE EventRow(e)
+  LINK EventRow(e) -> l -> v,
+       EventsPage() -> "Event" -> EventRow(e)
+}
+OUTPUT MONITOR
+"""
+
+
+def monitor_templates() -> TemplateSet:
+    """Templates for the dashboard site."""
+    templates = TemplateSet()
+    templates.add("Dashboard", """<HTML><HEAD><TITLE>STRUDEL Monitor</TITLE></HEAD>
+<BODY>
+<H1>STRUDEL Monitor</H1>
+<P>Generated <SFMT @generated></P>
+<UL>
+<LI><SFMT @spans> spans in <SFMT @traces> traces</LI>
+<LI><SFMT @counters> counters, <SFMT @gauges> gauges, <SFMT @histograms> histograms</LI>
+<LI><SFMT @events> events</LI>
+</UL>
+<H2>Browse</H2>
+<UL>
+<LI><SFMT @Stages TAG="Stage hotspots"></LI>
+<LI><SFMT @Traces TAG="Trace drilldowns"></LI>
+<LI><SFMT @Metrics TAG="Metrics tables"></LI>
+<LI><SFMT @Requests TAG="Slowest requests"></LI>
+<LI><SFMT @Events TAG="Event log"></LI>
+</UL>
+</BODY></HTML>""")
+    templates.add("StageIndex", """<HTML><HEAD><TITLE>Stages</TITLE></HEAD>
+<BODY>
+<H1>Stage hotspots</H1>
+<SFMTLIST @Stage ORDER=descend KEY=self_ms WRAP=OL>
+</BODY></HTML>""")
+    templates.add("StagePage", """<HTML><HEAD><TITLE>Stage <SFMT @name></TITLE></HEAD>
+<BODY>
+<H1>Stage: <SFMT @name></H1>
+<P><SFMT @calls> calls — self <SFMT @self_ms> ms,
+cumulative <SFMT @cum_ms> ms, mean <SFMT @avg_ms> ms</P>
+<SIF @Span><H2>Spans</H2>
+<SFMTLIST @Span FORMAT=EMBED ORDER=descend KEY=ms WRAP=UL></SIF>
+</BODY></HTML>""")
+    templates.add("TraceIndex", """<HTML><HEAD><TITLE>Traces</TITLE></HEAD>
+<BODY>
+<H1>Trace drilldowns</H1>
+<SFMTLIST @Trace ORDER=descend KEY=ms WRAP=OL>
+</BODY></HTML>""")
+    templates.add("TracePage", """<HTML><HEAD><TITLE>Trace <SFMT @name></TITLE></HEAD>
+<BODY>
+<H1>Trace: <SFMT @name> (<SFMT @ms> ms)</H1>
+<SIF @trace><P>id <SFMT @trace></P></SIF>
+<SFMTLIST @Root FORMAT=EMBED WRAP=UL>
+</BODY></HTML>""")
+    templates.add("SpanCard", """<B><SFMT @name></B> — <SFMT @ms> ms
+(self <SFMT @self_ms> ms)<SIF @attrs> <I><SFMT @attrs></I></SIF>""",
+                  as_page=False)
+    templates.add("SpanTree", """<B><SFMT @name></B> — <SFMT @ms> ms
+<SIF @attrs><I><SFMT @attrs></I></SIF>
+<SIF @Child><SFMTLIST @Child FORMAT=EMBED WRAP=UL></SIF>""",
+                  as_page=False)
+    templates.add("MetricsPage", """<HTML><HEAD><TITLE>Metrics</TITLE></HEAD>
+<BODY>
+<H1>Metrics</H1>
+<SIF @Counter><H2>Counters</H2>
+<TABLE><TR><TH>name</TH><TH>value</TH></TR>
+<SFMTLIST @Counter FORMAT=EMBED ORDER=ascend KEY=name DELIM="">
+</TABLE></SIF>
+<SIF @Gauge><H2>Gauges</H2>
+<TABLE><TR><TH>name</TH><TH>value</TH></TR>
+<SFMTLIST @Gauge FORMAT=EMBED ORDER=ascend KEY=name DELIM="">
+</TABLE></SIF>
+<SIF @Histogram><H2>Histograms</H2>
+<TABLE><TR><TH>name</TH><TH>count</TH><TH>mean ms</TH><TH>p50 ms</TH>
+<TH>p95 ms</TH><TH>p99 ms</TH><TH>max ms</TH></TR>
+<SFMTLIST @Histogram FORMAT=EMBED ORDER=ascend KEY=name DELIM="">
+</TABLE></SIF>
+</BODY></HTML>""")
+    templates.add("CounterRow",
+                  """<TR><TD><SFMT @name></TD><TD><SFMT @value></TD></TR>""",
+                  as_page=False)
+    templates.add("GaugeRow",
+                  """<TR><TD><SFMT @name></TD><TD><SFMT @value></TD></TR>""",
+                  as_page=False)
+    templates.add("HistRow", """<TR><TD><SFMT @name></TD><TD><SFMT @count></TD>
+<TD><SFMT @mean_ms></TD><TD><SFMT @p50_ms></TD><TD><SFMT @p95_ms></TD>
+<TD><SFMT @p99_ms></TD><TD><SFMT @max_ms></TD></TR>""", as_page=False)
+    templates.add("RequestsPage", """<HTML><HEAD><TITLE>Requests</TITLE></HEAD>
+<BODY>
+<H1>Slowest requests</H1>
+<SIF @Request>
+<TABLE><TR><TH>#</TH><TH>id</TH><TH>page</TH><TH>status</TH><TH>ms</TH></TR>
+<SFMTLIST @Request FORMAT=EMBED ORDER=ascend KEY=rank DELIM="">
+</TABLE>
+<SELSE><P>No request log attached.</P></SIF>
+</BODY></HTML>""")
+    templates.add("RequestRow", """<TR><TD><SFMT @rank></TD><TD><SFMT @id></TD>
+<TD><SFMT @page></TD><TD><SFMT @status></TD><TD><SFMT @ms></TD></TR>""",
+                  as_page=False)
+    templates.add("EventsPage", """<HTML><HEAD><TITLE>Events</TITLE></HEAD>
+<BODY>
+<H1>Event log</H1>
+<SIF @Event>
+<TABLE><TR><TH>#</TH><TH>level</TH><TH>event</TH><TH>span</TH>
+<TH>detail</TH></TR>
+<SFMTLIST @Event FORMAT=EMBED ORDER=ascend KEY=seq DELIM="">
+</TABLE>
+<SELSE><P>No events recorded.</P></SIF>
+</BODY></HTML>""")
+    templates.add("EventRow", """<TR><TD><SFMT @seq></TD><TD><SFMT @level></TD>
+<TD><SFMT @name><SIF @message> — <SFMT @message></SIF></TD>
+<TD><SIF @span><SFMT @span></SIF></TD>
+<TD><SIF @detail><SFMT @detail></SIF></TD></TR>""", as_page=False)
+    return templates
+
+
+def build_monitor_site(recorder: TraceRecorder | NullRecorder,
+                       server_log=None,
+                       max_spans: int = MAX_SPAN_NODES) -> Website:
+    """The monitoring dashboard over one recorder's telemetry."""
+    data = telemetry_graph(recorder, server_log=server_log,
+                           max_spans=max_spans)
+    return Website(data, MONITOR_QUERY, monitor_templates())

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.graph.model import Graph
-from repro.obs.trace import TimedResult, get_recorder, timed
+from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
 from repro.repository.indexes import GraphIndex
 from repro.repository.repository import Repository
 from repro.repository.stats import GraphStatistics
@@ -142,6 +142,11 @@ class QueryEngine:
                                  indexed=index is not None):
             self._run_block(query.root, [seed], set(seed), ctx, builder,
                             result, stats)
+            emit_event("info", "struql.query",
+                       input=query.input_name, output=query.output_name,
+                       blocks=len(result.traces),
+                       nodes=result.output.node_count,
+                       edges=result.output.edge_count)
         return result
 
     def run(self, query: Query | str, repository: Repository,

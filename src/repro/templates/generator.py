@@ -92,6 +92,11 @@ class TemplateSet:
         entry = self._entries.get(name)
         return entry.template if entry else None
 
+    def is_page_template(self, name: str) -> bool:
+        """Whether ``name`` renders as its own page (vs. a component)."""
+        entry = self._entries.get(name)
+        return entry.as_page if entry else False
+
     def total_lines(self) -> int:
         """Total source lines across templates (the paper's '380 lines
         of templates' metric)."""

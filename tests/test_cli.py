@@ -230,3 +230,103 @@ class TestSiteDot:
         dot = (workspace / "site.dot").read_text()
         assert dot.startswith("digraph")
         assert "YearPage(1997)" in dot
+
+
+class TestTraceFlags:
+    def test_trace_propagates_exit_code(self, tmp_path, capsys):
+        """The wrapped command's non-zero exit code must survive."""
+        (tmp_path / "bad.struql").write_text("""
+            input G
+            where not(p -> l -> q)
+            create f(p), f(q)
+            link f(p) -> l -> f(q)
+            output C
+        """)
+        code = main(["trace", "--quiet", "check",
+                     "--query", str(tmp_path / "bad.struql")])
+        assert code == 2
+
+    def test_trace_quiet_suppresses_tree(self, workspace, capsys):
+        code = main(["trace", "--quiet", "check",
+                     "--query", str(workspace / "site.struql")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "== metrics" in printed
+        assert "== trace" not in printed
+        assert "== hotspots" not in printed
+
+    def test_trace_prints_hotspots(self, workspace, capsys):
+        main(["trace", "build",
+              "--data", str(workspace / "pubs.ddl"),
+              "--query", str(workspace / "site.struql")])
+        printed = capsys.readouterr().out
+        assert "== hotspots" in printed
+        assert "self ms" in printed
+
+    def test_trace_prom_and_events_out(self, workspace, capsys):
+        from repro import obs
+        code = main(["trace", "--quiet",
+                     "--prom-out", str(workspace / "m.prom"),
+                     "--events-out", str(workspace / "e.jsonl"),
+                     "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql")])
+        assert code == 0
+        parsed = obs.parse_prometheus((workspace / "m.prom").read_text())
+        names = {n for n, _, _ in parsed["samples"]}
+        assert any(n.startswith("strudel_struql") for n in names)
+        events = obs.read_jsonl((workspace / "e.jsonl").read_text())
+        assert any(e.name == "mediator.fetch" for e in events)
+
+
+class TestMonitorCommand:
+    def test_monitor_build_generates_dashboard(self, workspace, capsys,
+                                               monkeypatch, tmp_path):
+        # monitor claims the last --out for the dashboard, so the
+        # wrapped build falls back to its default ./www — keep that
+        # out of the repo tree.
+        monkeypatch.chdir(tmp_path)
+        out = workspace / "dash"
+        code = main(["monitor", "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--templates", str(workspace / "templates"),
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "monitoring dashboard" in printed
+        assert (out / "Dashboard__.html").exists()
+        assert (out / "StageIndex__.html").exists()
+        assert (out / "metrics.prom").exists()
+        assert (out / "events.jsonl").exists()
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "STRUDEL Monitor" in dashboard
+
+    def test_monitor_out_before_command(self, workspace, capsys):
+        out = workspace / "dash2"
+        www = workspace / "www2"
+        code = main(["monitor", "--out", str(out), "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql"),
+                     "--templates", str(workspace / "templates"),
+                     "--out", str(www)])
+        assert code == 0
+        # Both the built site and the dashboard land where asked.
+        assert (www / "RootPage__.html").exists()
+        assert (out / "Dashboard__.html").exists()
+
+    def test_monitor_propagates_exit_code(self, tmp_path, capsys):
+        (tmp_path / "bad.struql").write_text("not a query")
+        code = main(["monitor", "--out", str(tmp_path / "d"),
+                     "check", "--query", str(tmp_path / "bad.struql")])
+        assert code == 1
+
+    def test_monitor_without_command_errors(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "monitor needs a command" in capsys.readouterr().err
+
+    def test_monitor_cannot_wrap_itself(self, tmp_path, capsys):
+        assert main(["monitor", "--out", str(tmp_path / "d"),
+                     "monitor", "check"]) == 2
+        assert main(["monitor", "--out", str(tmp_path / "d"),
+                     "trace", "check"]) == 2

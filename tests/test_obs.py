@@ -218,7 +218,7 @@ class TestExport:
     def test_json_round_trip(self):
         recorder = self._sample_recorder()
         text = obs.to_json(recorder)
-        spans, metrics = obs.from_json(text)
+        spans, metrics, _events = obs.from_json(text)
         assert len(spans) == 1
         root = spans[0]
         assert root.name == "root"
@@ -276,7 +276,7 @@ class TestExport:
         recorder = self._sample_recorder()
         path = tmp_path / "obs.json"
         obs.write_json(recorder, str(path))
-        spans, _ = obs.from_json(path.read_text())
+        spans, _, _ = obs.from_json(path.read_text())
         assert spans[0].name == "root"
 
 
@@ -366,3 +366,217 @@ class TestPipelineIntegration:
         # Even *with* recording the parse path is untouched; allow a
         # wide margin for CI noise — the real budget is 5%.
         assert recorded < baseline * 1.5 + 0.01
+
+
+class TestEvents:
+    def test_emit_captures_span_ids(self):
+        with obs.recording() as rec:
+            with rec.span("work") as span:
+                event = obs.emit_event("info", "thing.happened",
+                                       "message here", detail=3)
+        assert event.level == "info"
+        assert event.name == "thing.happened"
+        assert event.message == "message here"
+        assert event.attributes == {"detail": 3}
+        assert event.span_id == span.span_id > 0
+        assert event.trace_id == span.trace_id != ""
+        assert event.span == "work"
+
+    def test_emit_outside_span(self):
+        with obs.recording() as rec:
+            event = rec.events.emit("warning", "loose")
+        assert event.span_id == 0 and event.trace_id == ""
+
+    def test_level_filtering(self):
+        log = obs.EventLog(level="warning")
+        assert log.emit("debug", "quiet") is None
+        assert log.emit("info", "quiet") is None
+        assert log.emit("error", "loud") is not None
+        assert [e.name for e in log.records()] == ["loud"]
+        log.set_level("debug")
+        log.debug("now-visible")
+        assert len(log) == 2
+        with pytest.raises(ValueError):
+            log.emit("shout", "x")
+
+    def test_ring_buffer_bounded(self):
+        log = obs.EventLog(capacity=4)
+        for i in range(10):
+            log.info(f"e{i}")
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert [e.name for e in log.records()] == \
+            ["e6", "e7", "e8", "e9"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = obs.EventLog()
+        log.info("a", "first", k=1)
+        log.error("b", span=None)
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(str(path)) == 2
+        events = obs.read_jsonl(path.read_text())
+        assert [e.name for e in events] == ["a", "b"]
+        assert events[0].attributes == {"k": 1}
+        assert events[1].level == "error"
+
+    def test_streaming_sink(self, tmp_path):
+        log = obs.EventLog()
+        path = tmp_path / "stream.jsonl"
+        log.open_sink(str(path))
+        log.info("streamed", n=7)
+        log.close_sink()
+        events = obs.read_jsonl(path.read_text())
+        assert events[0].name == "streamed"
+        assert events[0].attributes == {"n": 7}
+
+    def test_non_json_attributes_coerced(self):
+        log = obs.EventLog()
+        event = log.info("e", oid=object())
+        assert isinstance(event.attributes["oid"], str)
+        json.dumps(event.to_dict())  # must not raise
+
+    def test_null_log_is_silent(self):
+        null = obs.NULL_EVENTS
+        assert null.emit("info", "x") is None
+        assert null.debug("x") is None
+        assert null.error("x", k=1) is None
+        assert null.records() == [] and len(null) == 0
+
+    def test_disabled_recorder_drops_events(self):
+        assert obs.emit_event("info", "ignored") is None
+
+
+class TestTraceIds:
+    def test_ids_assigned_and_propagated(self):
+        with obs.recording() as rec:
+            with rec.span("root") as root:
+                with rec.span("child") as child:
+                    pass
+            with rec.span("other") as other:
+                pass
+        assert root.span_id and child.span_id and other.span_id
+        assert len({root.span_id, child.span_id, other.span_id}) == 3
+        assert root.trace_id and root.trace_id == child.trace_id
+        assert other.trace_id != root.trace_id
+
+    def test_ids_survive_json_round_trip(self):
+        with obs.recording() as rec:
+            with rec.span("r"):
+                obs.emit_event("info", "evt")
+        spans, _, events = obs.from_json(obs.to_json(rec))
+        assert spans[0].span_id == rec.roots[0].span_id
+        assert spans[0].trace_id == rec.roots[0].trace_id
+        assert len(events) == 1
+        assert events[0].trace_id == spans[0].trace_id
+        assert events[0].span_id == spans[0].span_id
+
+
+class TestProfile:
+    def _spans(self, *specs):
+        """Build a span tree from (name, seconds, children) specs."""
+        def build(spec):
+            name, seconds, children = spec
+            span = Span(name, {}, start=0.0, end=seconds)
+            span.children = [build(c) for c in children]
+            return span
+        return [build(s) for s in specs]
+
+    def test_self_and_cumulative(self):
+        roots = self._spans(
+            ("build", 1.0, [("query", 0.6, [("op", 0.2, [])]),
+                            ("render", 0.3, [])]))
+        entries = {e.name: e for e in obs.aggregate_profile(roots)}
+        assert entries["build"].self_seconds == pytest.approx(0.1)
+        assert entries["build"].cum_seconds == pytest.approx(1.0)
+        assert entries["query"].self_seconds == pytest.approx(0.4)
+        assert entries["query"].cum_seconds == pytest.approx(0.6)
+        assert entries["op"].calls == 1
+        assert entries["render"].mean_seconds == pytest.approx(0.3)
+
+    def test_recursion_counts_outermost_only(self):
+        roots = self._spans(
+            ("f", 1.0, [("f", 0.6, [("f", 0.2, [])])]))
+        entry = obs.aggregate_profile(roots)[0]
+        assert entry.calls == 3
+        # Self time sums every level: 0.4 + 0.4 + 0.2.
+        assert entry.self_seconds == pytest.approx(1.0)
+        # Cumulative counts the outermost occurrence once.
+        assert entry.cum_seconds == pytest.approx(1.0)
+
+    def test_sorted_by_self_time(self):
+        roots = self._spans(("a", 0.1, []), ("b", 0.9, []))
+        assert [e.name for e in obs.aggregate_profile(roots)] == \
+            ["b", "a"]
+
+    def test_render_profile_table(self):
+        with obs.recording() as rec:
+            with rec.span("stage.one"):
+                time.sleep(0.001)
+        text = obs.render_profile(rec)
+        lines = text.splitlines()
+        assert "stage" in lines[0] and "self ms" in lines[0]
+        assert "stage.one" in text
+        assert obs.render_profile([]) == "(no spans recorded)"
+
+
+class TestPromExport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.total").inc(5)
+        registry.gauge("index.size").set(42)
+        hist = registry.histogram("lat")
+        for value in (0.0002, 0.003, 0.003, 0.2, 50.0):
+            hist.observe(value)
+        return registry
+
+    def test_every_instrument_appears(self):
+        registry = self._registry()
+        text = obs.to_prometheus(registry)
+        parsed = obs.parse_prometheus(text)
+        names = {name for name, _, _ in parsed["samples"]}
+        assert "strudel_requests_total_total" in names
+        assert "strudel_index_size" in names
+        assert "strudel_lat_sum" in names and "strudel_lat_count" in names
+        assert parsed["types"]["strudel_lat"] == "histogram"
+        assert parsed["types"]["strudel_requests_total_total"] == "counter"
+        assert parsed["types"]["strudel_index_size"] == "gauge"
+
+    def test_bucket_monotonicity_and_count(self):
+        registry = self._registry()
+        parsed = obs.parse_prometheus(obs.to_prometheus(registry))
+        buckets = [(float(labels["le"]) if labels["le"] != "+Inf"
+                    else float("inf"), value)
+                   for name, labels, value in parsed["samples"]
+                   if name == "strudel_lat_bucket"]
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert bounds[-1] == float("inf")
+        hist_count = next(v for n, _, v in parsed["samples"]
+                          if n == "strudel_lat_count")
+        assert counts[-1] == hist_count == 5
+        hist_sum = next(v for n, _, v in parsed["samples"]
+                        if n == "strudel_lat_sum")
+        assert hist_sum == pytest.approx(50.2062)
+
+    def test_round_trips_from_exported_document(self):
+        """as_dict -> JSON -> to_prometheus matches the live registry."""
+        registry = self._registry()
+        document = json.loads(json.dumps(registry.as_dict()))
+        assert obs.to_prometheus(document) == obs.to_prometheus(registry)
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with/chars").inc()
+        text = obs.to_prometheus(registry)
+        assert "strudel_weird_name_with_chars_total" in text
+
+    def test_empty_registry(self):
+        assert obs.to_prometheus(MetricsRegistry()) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        obs.write_prometheus(self._registry(), str(path))
+        assert path.read_text().endswith("\n")
+        obs.parse_prometheus(path.read_text())  # parses cleanly

@@ -136,3 +136,62 @@ class TestStaleness:
         server.invalidate()
         fresh = server.request(server.roots()[0]).body
         assert "2001" in fresh
+
+
+class TestServerLogSnapshot:
+    def test_request_ids_are_stable(self, server):
+        first = server.request(server.roots()[0])
+        second = server.request(server.roots()[0])
+        assert first.request_id == "req-1"
+        assert second.request_id == "req-2"
+
+    def test_snapshot_plain_dict(self, server):
+        for _ in range(3):
+            server.request(server.roots()[0])
+        server.request("nope.html")
+        snapshot = server.log.snapshot()
+        assert isinstance(snapshot, dict)
+        assert snapshot["requests"] == 4
+        assert snapshot["errors"] == 1
+        assert snapshot["p95_latency"] >= snapshot["p50_latency"] > 0
+        assert snapshot["histogram"]["count"] == 4
+        assert len(snapshot["samples"]) == 4
+
+    def test_slowest_requests_ranked(self, server):
+        from repro.site.server import SERVER_SLOWEST_KEPT, ServerLog
+        log = ServerLog()
+        for i in range(SERVER_SLOWEST_KEPT * 2):
+            log.record(0.001 * (i + 1), request_id=f"req-{i + 1}",
+                       page=f"p{i + 1}", status=200)
+        slowest = log.slowest
+        assert len(slowest) == SERVER_SLOWEST_KEPT
+        seconds = [entry["seconds"] for entry in slowest]
+        assert seconds == sorted(seconds, reverse=True)
+        assert slowest[0]["id"] == f"req-{SERVER_SLOWEST_KEPT * 2}"
+        assert slowest[0]["page"] == f"p{SERVER_SLOWEST_KEPT * 2}"
+
+    def test_record_without_context_skips_slowest(self):
+        from repro.site.server import ServerLog
+        log = ServerLog()
+        log.record(0.5)
+        assert log.slowest == []
+        assert log.histogram.count == 1
+
+    def test_constants_documented(self):
+        from repro.site import server as server_mod
+        assert server_mod.ServerLog.MAX_SAMPLES == \
+            server_mod.SERVER_RESERVOIR_SIZE
+        assert server_mod.SERVER_SLOWEST_KEPT > 0
+        assert server_mod.SERVER_LATENCY_BUCKETS
+
+    def test_request_events_carry_request_id(self, server):
+        from repro import obs
+        with obs.recording() as rec:
+            server.invalidate()  # fresh caches under the recorder
+            response = server.request(server.roots()[0])
+        events = [e for e in rec.events.records()
+                  if e.name == "server.request"]
+        assert events
+        assert events[-1].attributes["request"] == response.request_id
+        assert events[-1].trace_id
+        obs.disable()

@@ -1,0 +1,136 @@
+"""The dogfooded monitoring dashboard site (repro.sites.monitor)."""
+
+import pytest
+
+from repro import obs
+from repro.graph import Oid
+from repro.site import DynamicSiteServer
+from repro.sites.homepage import FIG3_QUERY, fig2_data, fig7_templates
+from repro.sites.monitor import (
+    MONITOR_QUERY,
+    build_monitor_site,
+    monitor_templates,
+    telemetry_graph,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def busy_recorder():
+    """A recorder with real pipeline telemetry plus a server log."""
+    with obs.recording() as rec:
+        server = DynamicSiteServer(FIG3_QUERY, fig2_data(),
+                                   fig7_templates())
+        server.crawl()
+        server.request("missing.html")
+    return rec, server.log
+
+
+class TestTelemetryGraph:
+    def test_collections_always_declared(self):
+        graph = telemetry_graph(obs.TraceRecorder())
+        for name in ("Spans", "Traces", "Stages", "Counters", "Gauges",
+                     "Histograms", "Events", "Requests", "Summary"):
+            assert graph.has_collection(name), name
+        assert len(graph.collection("Summary")) == 1
+
+    def test_spans_and_stages_converted(self, busy_recorder):
+        recorder, log = busy_recorder
+        graph = telemetry_graph(recorder, server_log=log)
+        assert graph.collection("Spans")
+        assert graph.collection("Traces")
+        stage_names = {
+            str(graph.get_one(oid, "name").value)
+            for oid in graph.collection("Stages")}
+        assert "server.request" in stage_names
+        assert graph.collection("Events")
+        assert graph.collection("Requests")
+        counters = {str(graph.get_one(oid, "name").value)
+                    for oid in graph.collection("Counters")}
+        assert "server.requests" in counters
+
+    def test_span_budget_respected(self, busy_recorder):
+        recorder, _ = busy_recorder
+        graph = telemetry_graph(recorder, max_spans=5)
+        assert len(graph.collection("Spans")) == 5
+
+    def test_accepts_snapshot_dict(self, busy_recorder):
+        recorder, log = busy_recorder
+        graph = telemetry_graph(recorder, server_log=log.snapshot())
+        assert graph.collection("Requests")
+
+
+class TestDashboardSite:
+    def test_generates_browsable_site(self, busy_recorder, tmp_path):
+        recorder, log = busy_recorder
+        site = build_monitor_site(recorder, server_log=log)
+        out = tmp_path / "dash"
+        out.mkdir()
+        pages = site.generate(str(out))
+        assert (out / "Dashboard__.html").exists()
+        dashboard = (out / "Dashboard__.html").read_text()
+        # Overview links every section page.
+        for target in ("StageIndex__.html", "TraceIndex__.html",
+                       "MetricsPage__.html", "RequestsPage__.html",
+                       "EventsPage__.html"):
+            assert target in dashboard, target
+        # Per-stage drilldowns exist and list spans.
+        stage_pages = [p for p in out.iterdir()
+                       if p.name.startswith("StagePage_")]
+        assert stage_pages
+        server_stage = next(p for p in stage_pages
+                            if "server_request" in p.name)
+        assert "req-1" in server_stage.read_text()
+        # Trace pages embed the recursive span tree.
+        trace_pages = [p for p in out.iterdir()
+                       if p.name.startswith("TracePage_")]
+        assert trace_pages
+        # Metrics tables carry real counter values.
+        metrics_page = (out / "MetricsPage__.html").read_text()
+        assert "server.requests" in metrics_page
+        # Slowest requests table has ranked ids.
+        requests_page = (out / "RequestsPage__.html").read_text()
+        assert "req-" in requests_page
+        # 404 warning made it into the event log page.
+        events_page = (out / "EventsPage__.html").read_text()
+        assert "server.not_found" in events_page
+        assert len(pages) > 5
+
+    def test_site_is_query_generated(self):
+        """The dashboard comes from a StruQL query, not hand HTML."""
+        assert "INPUT TELEMETRY" in MONITOR_QUERY
+        assert "OUTPUT MONITOR" in MONITOR_QUERY
+        with obs.recording() as rec:
+            with rec.span("only"):
+                pass
+        site = build_monitor_site(rec)
+        assert site.site_graph.has_node(Oid.skolem("Dashboard", ()))
+
+    def test_empty_recorder_still_builds(self, tmp_path):
+        site = build_monitor_site(obs.TraceRecorder())
+        out = tmp_path / "empty"
+        out.mkdir()
+        site.generate(str(out))
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "0 spans" in dashboard
+        requests_page = (out / "RequestsPage__.html").read_text()
+        assert "No request log attached" in requests_page
+        events_page = (out / "EventsPage__.html").read_text()
+        assert "No events recorded" in events_page
+
+    def test_templates_cover_every_skolem(self):
+        """Every Skolem function the query creates has a template."""
+        from repro.struql.parser import parse_query
+        templates = monitor_templates()
+        created = {term.fn
+                   for block in parse_query(MONITOR_QUERY).blocks()
+                   for term in block.creates}
+        missing = {name for name in created
+                   if templates.get(name) is None}
+        assert not missing, missing
