@@ -14,6 +14,9 @@ without writing Python:
     $ python -m repro trace [--quiet] [--metrics-out obs.json] \\
           build --data ...
     $ python -m repro monitor build --data ... --out dash/
+    $ python -m repro serve --port 8080 build --data ... \\
+          --query site.struql --templates templates/
+    $ python -m repro bench compare OLD.json NEW.json
 
 Data files are wrapped by extension:
 
@@ -38,6 +41,7 @@ Template files ``<Name>.tmpl`` register under ``Name`` as pages;
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -216,7 +220,7 @@ def _check_wrapped(rest: list[str], name: str) -> str | None:
     if not rest:
         return (f"error: {name} needs a command to run, e.g. "
                 f"'repro {name} build ...'")
-    if rest[0] in ("trace", "monitor"):
+    if rest[0] in ("trace", "monitor", "serve"):
         return f"error: {name} cannot wrap {rest[0]!r}"
     return None
 
@@ -317,6 +321,105 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a site dynamically behind the live telemetry HTTP plane.
+
+    Wraps ``build``-style arguments the way ``trace``/``monitor`` wrap
+    commands, but instead of materializing pages it mounts a
+    :class:`~repro.site.server.DynamicSiteServer` behind a threaded
+    HTTP front end (:mod:`repro.obs.http`): pages are computed at click
+    time while ``/metrics``, ``/healthz``, ``/readyz`` and the
+    ``/debug/*`` endpoints expose the live telemetry.  The socket is
+    bound (and ``/healthz`` answers) before the data graph loads;
+    ``/readyz`` flips to 200 once the site query is warmed.  SIGINT or
+    SIGTERM drain in-flight requests and flush a final metrics/events
+    snapshot to ``--snapshot-dir``.
+    """
+    from repro.obs.http import TelemetryHTTPServer, serving_recorder
+    from repro.site.server import DynamicSiteServer
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    error = _check_wrapped(rest, "serve")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if rest[0] != "build":
+        print("error: serve wraps 'build' arguments (the command that "
+              "names --data/--query/--templates), got "
+              f"{rest[0]!r}", file=sys.stderr)
+        return 2
+    build_args = make_parser().parse_args(rest)
+    if not build_args.templates:
+        print("error: serve needs --templates to render pages",
+              file=sys.stderr)
+        return 2
+    recorder = obs.enable(serving_recorder())
+    try:
+        plane = TelemetryHTTPServer(recorder, host=args.host,
+                                    port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        obs.disable()
+        return 1
+    print(f"serving on http://{args.host}:{plane.port}", flush=True)
+    print("telemetry: /metrics /healthz /readyz /debug/traces "
+          "/debug/events /debug/profile", flush=True)
+    thread = plane.start_background()
+    plane.install_signal_handlers()
+    try:
+        query = _read_query(build_args.query)
+        data = load_data(build_args.data, query.input_name)
+        templates = load_templates(build_args.templates)
+        site_server = DynamicSiteServer(
+            query, data, templates,
+            engine=QueryEngine(optimizer=build_args.optimizer))
+        site_server.log.slow_warn_seconds = args.slow_ms / 1000.0
+        plane.mount(site_server)
+        roots = site_server.warm()
+        plane.set_ready()
+        print(f"ready: {roots} root page(s) over {data.node_count} "
+              "objects", flush=True)
+    except (StrudelError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        plane.request_shutdown()
+        while thread.is_alive():
+            thread.join(0.2)
+        plane.server_close()
+        obs.disable()
+        return 1
+    # join() in a loop so SIGINT/SIGTERM handlers run in the main
+    # thread while the accept loop owns the background thread.
+    while thread.is_alive():
+        thread.join(0.2)
+    plane.server_close()  # drains in-flight handler threads
+    plane.write_snapshot(args.snapshot_dir)
+    print(f"shutdown: final snapshot in {args.snapshot_dir}",
+          flush=True)
+    obs.disable()
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Diff two committed benchmark documents; non-zero on regression.
+
+    Compares every ``*_p50_s`` metric of two ``BENCH_core.json``-format
+    files and fails (exit 1) when any grew more than
+    ``--max-regress-pct`` percent — the CI perf gate.
+    """
+    from repro.obs.benchdiff import compare_documents, load_document
+    try:
+        old = load_document(args.old)
+        new = load_document(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_documents(old, new, args.max_regress_pct)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -389,6 +492,37 @@ def make_parser() -> argparse.ArgumentParser:
     monitor.add_argument("rest", nargs=argparse.REMAINDER,
                          help="the command to run, e.g. build --data ...")
     monitor.set_defaults(fn=cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a site dynamically with live telemetry endpoints")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral one")
+    serve.add_argument("--snapshot-dir", default="serve-snapshot",
+                       help="where the final metrics/events snapshot "
+                            "is flushed on shutdown")
+    serve.add_argument("--slow-ms", type=float, default=0.0,
+                       help="server.slow_request warn threshold in "
+                            "milliseconds (default 0: warn on every "
+                            "slowest-heap entry)")
+    serve.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="build arguments naming the site, e.g. "
+                            "build --data ... --query ... --templates ...")
+    serve.set_defaults(fn=cmd_serve)
+
+    bench = sub.add_parser("bench", help="benchmark utilities")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_core.json documents; exit 1 on regression")
+    compare.add_argument("old", help="baseline BENCH_core.json")
+    compare.add_argument("new", help="candidate BENCH_core.json")
+    compare.add_argument("--max-regress-pct", type=float, default=25.0,
+                         help="fail when a p50 metric grows more than "
+                              "this percentage (default 25)")
+    compare.set_defaults(fn=cmd_bench_compare)
     return parser
 
 

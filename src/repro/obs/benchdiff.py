@@ -1,0 +1,134 @@
+"""Regression gating over committed benchmark documents.
+
+``BENCH_core.json`` (written by ``benchmarks/conftest.py``) is the
+committed perf trajectory: a handful of stable ``*_p50_s`` metrics with
+``*_count`` companions.  This module diffs two such documents so CI can
+fail on a slowdown instead of silently recording it:
+
+.. code-block:: console
+
+    $ python -m repro bench compare OLD.json NEW.json \\
+          --max-regress-pct 25
+
+A metric *regresses* when its new p50 exceeds the old by more than the
+threshold percentage.  Metrics present on only one side are reported
+but do not gate (coverage changes are a review concern, not a perf
+gate); zero-valued baselines cannot express a percentage and are
+skipped the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Default regression threshold, in percent.
+DEFAULT_MAX_REGRESS_PCT = 25.0
+
+#: Suffix identifying the gated metrics in a core document.
+P50_SUFFIX = "_p50_s"
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between two documents."""
+
+    name: str
+    old: float
+    new: float
+
+    @property
+    def pct(self) -> float | None:
+        """Percent change new-vs-old (``None`` for a zero baseline)."""
+        if self.old <= 0:
+            return None
+        return (self.new - self.old) / self.old * 100.0
+
+    def regressed(self, max_regress_pct: float) -> bool:
+        pct = self.pct
+        return pct is not None and pct > max_regress_pct
+
+
+@dataclass
+class BenchComparison:
+    """The full diff of two core documents plus the gate verdict."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+    max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas
+                if delta.regressed(self.max_regress_pct)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """The human-readable comparison table plus verdict."""
+        lines: list[str] = []
+        if self.deltas:
+            width = max(len("metric"),
+                        max(len(d.name) for d in self.deltas))
+            lines.append(f"{'metric'.ljust(width)}  {'old s':>12}  "
+                         f"{'new s':>12}  {'change':>8}")
+            for delta in self.deltas:
+                pct = delta.pct
+                change = "   n/a" if pct is None else f"{pct:+7.1f}%"
+                flag = "  REGRESSION" if delta.regressed(
+                    self.max_regress_pct) else ""
+                lines.append(f"{delta.name.ljust(width)}  "
+                             f"{delta.old:>12.6f}  {delta.new:>12.6f}  "
+                             f"{change:>8}{flag}")
+        for name in self.only_old:
+            lines.append(f"{name}: missing from NEW (not gated)")
+        for name in self.only_new:
+            lines.append(f"{name}: new metric (not gated)")
+        if not lines:
+            lines.append("no comparable metrics")
+        verdict = "ok" if self.ok else (
+            f"{len(self.regressions)} metric(s) regressed more than "
+            f"{self.max_regress_pct:g}%")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_documents(old: dict, new: dict,
+                      max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT
+                      ) -> BenchComparison:
+    """Diff two ``BENCH_core.json``-format documents per p50 metric."""
+    old_metrics = _p50_metrics(old)
+    new_metrics = _p50_metrics(new)
+    comparison = BenchComparison(max_regress_pct=max_regress_pct)
+    for name in old_metrics:
+        if name in new_metrics:
+            comparison.deltas.append(MetricDelta(
+                name, float(old_metrics[name]),
+                float(new_metrics[name])))
+        else:
+            comparison.only_old.append(name)
+    comparison.only_new = [name for name in new_metrics
+                           if name not in old_metrics]
+    return comparison
+
+
+def load_document(path: str) -> dict:
+    """Read and validate one core benchmark document."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) \
+            or not isinstance(document.get("metrics"), dict):
+        raise ValueError(
+            f"{path}: not a BENCH_core.json document "
+            "(expected an object with a 'metrics' mapping)")
+    return document
+
+
+def _p50_metrics(document: dict) -> dict:
+    return {name: value
+            for name, value in document.get("metrics", {}).items()
+            if name.endswith(P50_SUFFIX)
+            and isinstance(value, (int, float))}

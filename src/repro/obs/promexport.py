@@ -40,6 +40,28 @@ def sanitize_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
     return full
 
 
+def escape_label_value(value) -> str:
+    """``value`` escaped per the exposition spec: backslash, double
+    quote and newline become ``\\\\``, ``\\"`` and ``\\n``."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """HELP-line text escaped per the spec (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_labels(labels: dict | None) -> str:
+    """A label dict as ``{k="v",...}`` with spec-escaped values (empty
+    string for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(value)}"'
+                     for key, value in labels.items())
+    return "{" + inner + "}"
+
+
 def _format_value(value: float) -> str:
     if isinstance(value, float) and math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
@@ -55,9 +77,12 @@ def _as_document(metrics) -> dict:
 
 
 def _histogram_lines(name: str, summary: dict, prefix: str,
-                     lines: list[str]) -> None:
+                     lines: list[str],
+                     labels: dict | None = None) -> None:
     base = sanitize_name(name, prefix)
-    lines.append(f"# HELP {base} Histogram of {name} (seconds).")
+    label_str = format_labels(labels)
+    lines.append(f"# HELP {base} "
+                 f"{escape_help(f'Histogram of {name} (seconds).')}")
     lines.append(f"# TYPE {base} histogram")
     buckets = summary.get("buckets")
     if buckets is None:
@@ -69,54 +94,73 @@ def _histogram_lines(name: str, summary: dict, prefix: str,
         le = "+Inf" if bound == "+Inf" or (
             isinstance(bound, float) and math.isinf(bound)
         ) else _format_value(float(bound))
-        lines.append(f'{base}_bucket{{le="{le}"}} {cumulative}')
-    lines.append(f"{base}_sum {_format_value(summary.get('sum', 0.0))}")
-    lines.append(f"{base}_count {summary.get('count', 0)}")
+        bucket_labels = format_labels({**(labels or {}), "le": le})
+        lines.append(f"{base}_bucket{bucket_labels} {cumulative}")
+    lines.append(f"{base}_sum{label_str} "
+                 f"{_format_value(summary.get('sum', 0.0))}")
+    lines.append(f"{base}_count{label_str} {summary.get('count', 0)}")
 
 
-def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX) -> str:
+def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX,
+                  labels: dict | None = None) -> str:
     """The registry (or its ``as_dict`` document) as exposition text.
 
     Every registered counter, gauge and histogram appears exactly once;
-    output ends with a newline as the format requires.
+    output ends with a newline as the format requires.  ``labels`` is
+    an optional dict of constant labels stamped onto every sample (the
+    way a scrape target identifies an instance or site); values are
+    escaped per the spec, so quotes, backslashes and newlines survive
+    the round trip.
     """
     data = _as_document(metrics)
+    label_str = format_labels(labels)
     lines: list[str] = []
     for name, value in data.get("counters", {}).items():
         base = sanitize_name(name, prefix) + "_total"
-        lines.append(f"# HELP {base} Counter {name}.")
+        lines.append(f"# HELP {base} {escape_help(f'Counter {name}.')}")
         lines.append(f"# TYPE {base} counter")
-        lines.append(f"{base} {_format_value(value)}")
+        lines.append(f"{base}{label_str} {_format_value(value)}")
     for name, value in data.get("gauges", {}).items():
         base = sanitize_name(name, prefix)
-        lines.append(f"# HELP {base} Gauge {name}.")
+        lines.append(f"# HELP {base} {escape_help(f'Gauge {name}.')}")
         lines.append(f"# TYPE {base} gauge")
-        lines.append(f"{base} {_format_value(value)}")
+        lines.append(f"{base}{label_str} {_format_value(value)}")
     for name, summary in data.get("histograms", {}).items():
-        _histogram_lines(name, summary, prefix, lines)
+        _histogram_lines(name, summary, prefix, lines, labels)
     return "\n".join(lines) + "\n" if lines else ""
 
 
 def write_prometheus(metrics, path: str,
-                     prefix: str = DEFAULT_PREFIX) -> None:
+                     prefix: str = DEFAULT_PREFIX,
+                     labels: dict | None = None) -> None:
     """Write :func:`to_prometheus` output to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_prometheus(metrics, prefix))
+        handle.write(to_prometheus(metrics, prefix, labels))
 
 
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>.*)\})?"
     r"\s+(?P<value>\S+)\s*$")
-_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+_LABEL = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:\\.|[^"\\])*)"')
+_ESCAPE_SEQ = re.compile(r"\\(.)")
+_UNESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label(value: str) -> str:
+    """Undo :func:`escape_label_value` (single pass, so an escaped
+    backslash followed by ``n`` is not mistaken for a newline)."""
+    return _ESCAPE_SEQ.sub(
+        lambda m: _UNESCAPES.get(m.group(1), "\\" + m.group(1)), value)
 
 
 def parse_prometheus(text: str) -> dict:
     """Exposition text back into plain data, for tests and tooling.
 
     Returns ``{"types": {name: type}, "samples": [(name, labels,
-    value), ...]}`` where ``labels`` is a dict and ``value`` a float
-    (``+Inf`` parses to ``math.inf``).
+    value), ...]}`` where ``labels`` is a dict with unescaped values
+    and ``value`` a float (``+Inf`` parses to ``math.inf``).
     """
     types: dict[str, str] = {}
     samples: list[tuple[str, dict, float]] = []
@@ -134,7 +178,7 @@ def parse_prometheus(text: str) -> dict:
         match = _SAMPLE.match(line)
         if not match:
             raise ValueError(f"unparseable exposition line: {line!r}")
-        labels = {m.group("key"): m.group("val")
+        labels = {m.group("key"): _unescape_label(m.group("val"))
                   for m in _LABEL.finditer(match.group("labels") or "")}
         raw = match.group("value")
         value = math.inf if raw == "+Inf" else (

@@ -31,9 +31,11 @@ Two span APIs with different disabled-cost trade-offs:
 from __future__ import annotations
 
 import functools
+import heapq
 import itertools
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
@@ -132,10 +134,105 @@ class _NoopContext:
 _NOOP_CONTEXT = _NoopContext()
 
 
+#: Bounds for :class:`TailSampler`'s three views: most-recent traces,
+#: slowest-ever traces, and most-recent error traces.
+TAIL_RECENT_KEPT = 32
+TAIL_SLOWEST_KEPT = 16
+TAIL_ERRORS_KEPT = 16
+
+
+class TailSampler:
+    """A bounded ring of *completed* traces with tail-based retention.
+
+    A long-running server completes far more traces than anyone can
+    keep, but the interesting ones are exactly the ones a head-based
+    ring would evict: the slowest requests and the failures.  This
+    sampler keeps three bounded, overlapping views of the stream of
+    finished root spans:
+
+    * the :attr:`recent` ring (last :data:`TAIL_RECENT_KEPT` traces);
+    * the :attr:`slowest` table (top :data:`TAIL_SLOWEST_KEPT` by
+      duration, min-heap, never evicted by newer-but-faster traces);
+    * the :attr:`errors` ring (last :data:`TAIL_ERRORS_KEPT` traces in
+      which any span carries a truthy ``error`` attribute or an integer
+      ``status`` >= 500).
+
+    Attach one to a :class:`TraceRecorder` (the ``tail`` constructor
+    argument) and every root span is offered as its trace finishes;
+    memory stays O(kept traces) however long the process serves.
+    """
+
+    def __init__(self, recent: int = TAIL_RECENT_KEPT,
+                 slow: int = TAIL_SLOWEST_KEPT,
+                 errors: int = TAIL_ERRORS_KEPT) -> None:
+        self._lock = threading.Lock()
+        self._recent: deque[Span] = deque(maxlen=recent)
+        self._slow: list[tuple[float, int, Span]] = []
+        self._slow_keep = slow
+        self._errors: deque[Span] = deque(maxlen=errors)
+        self._seq = itertools.count()
+        self.offered = 0
+
+    @staticmethod
+    def is_error_trace(root: Span) -> bool:
+        """Whether any span of the tree looks failed (``error`` attr or
+        an integer ``status`` >= 500)."""
+        for span in root.walk():
+            if span.attributes.get("error"):
+                return True
+            status = span.attributes.get("status")
+            if isinstance(status, int) and status >= 500:
+                return True
+        return False
+
+    def offer(self, root: Span) -> None:
+        """Consider one finished trace for every view."""
+        seconds = root.seconds
+        error = self.is_error_trace(root)
+        with self._lock:
+            self.offered += 1
+            self._recent.append(root)
+            item = (seconds, next(self._seq), root)
+            if len(self._slow) < self._slow_keep:
+                heapq.heappush(self._slow, item)
+            elif seconds > self._slow[0][0]:
+                heapq.heapreplace(self._slow, item)
+            if error:
+                self._errors.append(root)
+
+    @property
+    def recent(self) -> list[Span]:
+        """The most recent traces, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    @property
+    def slowest(self) -> list[Span]:
+        """The slowest traces seen so far, slowest first."""
+        with self._lock:
+            return [span for _, _, span in
+                    sorted(self._slow, reverse=True)]
+
+    @property
+    def errors(self) -> list[Span]:
+        """The most recent error traces, oldest first."""
+        with self._lock:
+            return list(self._errors)
+
+    def clear(self) -> None:
+        """Forget every retained trace."""
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()
+            self._errors.clear()
+            self.offered = 0
+
+
 class NullRecorder:
     """Recorder that records nothing, as cheaply as possible."""
 
     enabled = False
+    tail: TailSampler | None = None
 
     def __init__(self) -> None:
         self.metrics: NullMetricsRegistry = NULL_METRICS
@@ -170,15 +267,26 @@ class TraceRecorder:
     Each thread keeps its own stack of open spans (so concurrent
     requests interleave without corrupting each other's trees); finished
     top-level spans land in :attr:`roots` under a lock.
+
+    ``max_roots`` bounds :attr:`roots` for long-running processes: once
+    exceeded, the oldest root is dropped (``roots_dropped`` counts the
+    evictions).  ``tail`` is an optional :class:`TailSampler` that is
+    offered every root span as its trace completes, so the slowest and
+    failed traces survive the eviction that keeps memory bounded.
     """
 
     enabled = True
 
-    def __init__(self, name: str = "trace") -> None:
+    def __init__(self, name: str = "trace",
+                 tail: TailSampler | None = None,
+                 max_roots: int | None = None) -> None:
         self.name = name
         self.metrics = MetricsRegistry()
         self.events = EventLog()
         self.roots: list[Span] = []
+        self.tail = tail
+        self.max_roots = max_roots
+        self.roots_dropped = 0
         self._lock = threading.Lock()
         self._local = threading.local()
         # itertools.count.__next__ is atomic under the GIL, so id
@@ -217,14 +325,24 @@ class TraceRecorder:
                 span.trace_id = f"{self.name}-{next(self._trace_ids)}"
             with self._lock:
                 self.roots.append(span)
+                if self.max_roots is not None \
+                        and len(self.roots) > self.max_roots:
+                    del self.roots[0]
+                    self.roots_dropped += 1
         stack.append(span)
 
     def pop(self, span: Span) -> None:
-        """Close out ``span`` (tolerates unbalanced exits)."""
+        """Close out ``span`` (tolerates unbalanced exits).
+
+        When the pop empties this thread's stack, the span's trace is
+        complete and is offered to the tail sampler, if one is attached.
+        """
         stack = self._stack()
         while stack:
             if stack.pop() is span:
                 break
+        if not stack and self.tail is not None:
+            self.tail.offer(span)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
@@ -241,8 +359,11 @@ class TraceRecorder:
         """Drop collected spans, events, and reset every metric."""
         with self._lock:
             self.roots.clear()
+            self.roots_dropped = 0
         self.metrics.reset()
         self.events.clear()
+        if self.tail is not None:
+            self.tail.clear()
 
 
 # -- the process-global recorder ---------------------------------------------

@@ -18,9 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import threading
 from dataclasses import dataclass
 
-from repro.errors import PageNotFoundError
+from repro.errors import PageNotFoundError, StrudelError
 from repro.graph.model import Graph, Oid
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
@@ -42,6 +43,27 @@ SERVER_RESERVOIR_SEED = 0x5EED
 
 #: How many slowest requests the log keeps for the dashboard.
 SERVER_SLOWEST_KEPT = 16
+
+#: Default ``server.slow_request`` warn threshold, in seconds.  At 0
+#: every request that enters the slowest-requests heap emits the WARN
+#: event, so the event log and the heap tell the same story; raise it
+#: (``ServerLog.slow_warn_seconds``, or ``repro serve --slow-ms``) to
+#: warn only on genuinely slow requests.
+SERVER_SLOW_WARN_SECONDS = 0.0
+
+
+def classify_error(exc: BaseException) -> tuple[int, str]:
+    """Map an exception raised while serving to ``(status, kind)``.
+
+    ``PageNotFoundError`` is the client's fault (404, ``not_found``);
+    any other library error is a server-side failure (500) classified
+    by subsystem so error counters stay diagnosable.
+    """
+    if isinstance(exc, PageNotFoundError):
+        return 404, "not_found"
+    if isinstance(exc, StrudelError):
+        return 500, type(exc).__name__
+    return 500, "internal"
 
 
 @dataclass
@@ -70,10 +92,13 @@ class ServerLog:
     #: Back-compat alias of :data:`SERVER_RESERVOIR_SIZE`.
     MAX_SAMPLES = SERVER_RESERVOIR_SIZE
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 slow_warn_seconds: float = SERVER_SLOW_WARN_SECONDS
+                 ) -> None:
         self.requests = 0
         self.errors = 0
         self.total_seconds = 0.0
+        self.slow_warn_seconds = slow_warn_seconds
         self.histogram = Histogram("server.request_seconds",
                                    SERVER_LATENCY_BUCKETS)
         self._samples: list[float] = []
@@ -82,42 +107,71 @@ class ServerLog:
         # Min-heap of (seconds, tiebreak, entry) keeping the slowest.
         self._slowest: list[tuple[float, int, dict]] = []
         self._slowest_seq = itertools.count()
+        # Guards requests/errors/total_seconds/samples/slowest so the
+        # threaded HTTP front end never loses an update; the histogram
+        # and the metrics registry carry their own locks.
+        self._lock = threading.Lock()
 
     def next_request_id(self) -> str:
         """A fresh stable request id (``req-1``, ``req-2``, ...)."""
         return f"req-{next(self._request_ids)}"
+
+    def count_request(self) -> None:
+        """Account one request arrival (atomic under concurrency)."""
+        with self._lock:
+            self.requests += 1
+
+    def count_error(self) -> None:
+        """Account one failed request (atomic under concurrency)."""
+        with self._lock:
+            self.errors += 1
 
     def record(self, seconds: float, request_id: str = "",
                page: str = "", status: int | None = None) -> None:
         """Account one served request's latency.
 
         ``request_id``/``page``/``status`` are optional context; when
-        given, the request competes for the slowest-requests table.
+        given, the request competes for the slowest-requests table, and
+        landing there at or above :attr:`slow_warn_seconds` emits a
+        ``server.slow_request`` WARN event — the event log and the heap
+        tell the same story.
         """
-        self.total_seconds += seconds
         self.histogram.observe(seconds)
         get_recorder().metrics.histogram(
             "server.request_seconds").observe(seconds)
-        if len(self._samples) < self.MAX_SAMPLES:
-            self._samples.append(seconds)
-        else:
-            slot = self._rng.randrange(self.histogram.count)
-            if slot < self.MAX_SAMPLES:
-                self._samples[slot] = seconds
-        if request_id or page:
-            entry = {"id": request_id, "page": page,
-                     "status": status, "seconds": seconds}
-            item = (seconds, next(self._slowest_seq), entry)
-            if len(self._slowest) < SERVER_SLOWEST_KEPT:
-                heapq.heappush(self._slowest, item)
-            elif seconds > self._slowest[0][0]:
-                heapq.heapreplace(self._slowest, item)
+        entered_slowest = False
+        with self._lock:
+            self.total_seconds += seconds
+            if len(self._samples) < self.MAX_SAMPLES:
+                self._samples.append(seconds)
+            else:
+                slot = self._rng.randrange(self.histogram.count)
+                if slot < self.MAX_SAMPLES:
+                    self._samples[slot] = seconds
+            if request_id or page:
+                entry = {"id": request_id, "page": page,
+                         "status": status, "seconds": seconds}
+                item = (seconds, next(self._slowest_seq), entry)
+                if len(self._slowest) < SERVER_SLOWEST_KEPT:
+                    heapq.heappush(self._slowest, item)
+                    entered_slowest = True
+                elif seconds > self._slowest[0][0]:
+                    heapq.heapreplace(self._slowest, item)
+                    entered_slowest = True
+        if entered_slowest and seconds >= self.slow_warn_seconds:
+            get_recorder().metrics.counter("server.slow_requests").inc()
+            emit_event("warning", "server.slow_request",
+                       f"{request_id or page} took "
+                       f"{seconds * 1000:.1f} ms",
+                       request=request_id, page=page, status=status,
+                       ms=round(seconds * 1000, 3))
 
     @property
     def slowest(self) -> list[dict]:
         """The slowest recorded requests, slowest first."""
-        return [entry for _, _, entry in
-                sorted(self._slowest, reverse=True)]
+        with self._lock:
+            items = list(self._slowest)
+        return [entry for _, _, entry in sorted(items, reverse=True)]
 
     def snapshot(self) -> dict:
         """The full request-log state as a plain dict (dashboard food)."""
@@ -129,7 +183,7 @@ class ServerLog:
             "p50_latency": self.p50_latency,
             "p95_latency": self.p95_latency,
             "histogram": self.histogram.summary(),
-            "samples": list(self._samples),
+            "samples": list(self.latencies),
             "slowest": self.slowest,
         }
 
@@ -140,7 +194,8 @@ class ServerLog:
         Deprecated as a mutable list; kept as a read-only view for
         existing consumers.
         """
-        return tuple(self._samples)
+        with self._lock:
+            return tuple(self._samples)
 
     @property
     def mean_latency(self) -> float:
@@ -195,16 +250,38 @@ class DynamicSiteServer:
             self._url_map_size = self.graph.node_count
         return self._url_map.get(wanted)
 
-    def request(self, page: Oid | str) -> Response:
+    def warm(self) -> int:
+        """Compute the site query and materialize every root page.
+
+        The readiness gate of the HTTP front end: once this returns,
+        the data graph is loaded and the site query has produced its
+        entry points, so click-time requests can be answered.  Returns
+        the number of roots warmed.
+        """
+        roots = self.roots()
+        for oid in roots:
+            self.graph.ensure(oid)
+        return len(roots)
+
+    def request(self, page: Oid | str,
+                request_id: str | None = None) -> Response:
         """Serve one page by oid or URL path.
 
         Every request gets a stable id (``req-N``) stamped onto its
         span, its :class:`Response`, and the events it emits, so one
         request's records correlate across the span tree, the event
-        log and the slowest-requests table.
+        log and the slowest-requests table.  A front end that already
+        assigned an id (the HTTP plane's ``X-Request-Id``) passes it as
+        ``request_id`` so all layers tell one story.
+
+        Failures are classified (:func:`classify_error`): unknown pages
+        are 404s; any other error is answered as a 500 whose span gains
+        an ``error`` attribute, which keeps the trace in the tail
+        sampler's error ring.
         """
-        self.log.requests += 1
-        request_id = self.log.next_request_id()
+        self.log.count_request()
+        if request_id is None:
+            request_id = self.log.next_request_id()
         with timed("server.request", request=request_id) as span:
             oid = page if isinstance(page, Oid) else self.resolve_path(page)
             try:
@@ -215,14 +292,24 @@ class DynamicSiteServer:
                     raise PageNotFoundError(oid)
                 body = self.generator.render(oid)
                 status = 200
-            except PageNotFoundError:
-                body = "<h1>404 Not Found</h1>"
-                status = 404
-                self.log.errors += 1
+            except Exception as exc:
+                status, kind = classify_error(exc)
+                self.log.count_error()
                 get_recorder().metrics.counter("server.errors").inc()
-                emit_event("warning", "server.not_found",
-                           f"no page for {page}",
-                           request=request_id, page=str(page))
+                get_recorder().metrics.counter(
+                    f"server.errors.{kind}").inc()
+                if status == 404:
+                    body = "<h1>404 Not Found</h1>"
+                    emit_event("warning", "server.not_found",
+                               f"no page for {page}",
+                               request=request_id, page=str(page))
+                else:
+                    body = (f"<h1>500 Internal Server Error</h1>"
+                            f"<p>{kind}</p>")
+                    span.set(error=kind)
+                    emit_event("error", "server.error", str(exc),
+                               request=request_id, page=str(page),
+                               kind=kind)
             span.set(page=str(page), status=status)
             # Emit before the span closes so the event carries its ids.
             emit_event("info", "server.request", request=request_id,

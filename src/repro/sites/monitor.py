@@ -104,14 +104,25 @@ def _metric_nodes(graph: Graph, metrics: dict) -> None:
         graph.add_edge(oid, "max_ms", _ms(summary.get("max", 0.0)))
 
 
+#: The telemetry-plane paths a live ``repro serve`` process exposes
+#: (mirrored on the dashboard when a ``live_url`` is given).
+LIVE_ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/debug/traces",
+                  "/debug/events", "/debug/profile")
+
+
 def telemetry_graph(recorder: TraceRecorder | NullRecorder,
                     server_log=None,
-                    max_spans: int = MAX_SPAN_NODES) -> Graph:
+                    max_spans: int = MAX_SPAN_NODES,
+                    live_url: str | None = None) -> Graph:
     """A recorder's telemetry as an ordinary STRUDEL data graph.
 
     ``server_log`` is an optional :class:`~repro.site.server.ServerLog`
     (or its :meth:`~repro.site.server.ServerLog.snapshot` dict) whose
     slowest-requests table becomes the ``Requests`` collection.
+    ``live_url`` is the base URL of a running ``repro serve`` process;
+    when given, the summary node carries it plus the endpoint list, so
+    the generated dashboard links to the live telemetry plane instead
+    of being a purely post-hoc view.
     """
     graph = Graph("TELEMETRY")
     for name in TELEMETRY_COLLECTIONS:
@@ -176,6 +187,12 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     graph.add_edge(summary, "events", Atom.int(len(events)))
     graph.add_edge(summary, "generated", Atom.string(
         time.strftime("%Y-%m-%d %H:%M:%S")))
+    if live_url:
+        base = live_url.rstrip("/")
+        graph.add_edge(summary, "live", Atom.string(base))
+        for path in LIVE_ENDPOINTS:
+            graph.add_edge(summary, "endpoint",
+                           Atom.string(f"{base}{path}"))
     return graph
 
 
@@ -274,6 +291,11 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @Requests TAG="Slowest requests"></LI>
 <LI><SFMT @Events TAG="Event log"></LI>
 </UL>
+<SIF @live><H2>Live endpoints</H2>
+<P>A <TT>repro serve</TT> process is exporting this telemetry at
+<SFMT @live> — poll these instead of rebuilding the dashboard:</P>
+<SFMTLIST @endpoint WRAP=UL>
+</SIF>
 </BODY></HTML>""")
     templates.add("StageIndex", """<HTML><HEAD><TITLE>Stages</TITLE></HEAD>
 <BODY>
@@ -363,8 +385,9 @@ cumulative <SFMT @cum_ms> ms, mean <SFMT @avg_ms> ms</P>
 
 def build_monitor_site(recorder: TraceRecorder | NullRecorder,
                        server_log=None,
-                       max_spans: int = MAX_SPAN_NODES) -> Website:
+                       max_spans: int = MAX_SPAN_NODES,
+                       live_url: str | None = None) -> Website:
     """The monitoring dashboard over one recorder's telemetry."""
     data = telemetry_graph(recorder, server_log=server_log,
-                           max_spans=max_spans)
+                           max_spans=max_spans, live_url=live_url)
     return Website(data, MONITOR_QUERY, monitor_templates())

@@ -1,0 +1,132 @@
+"""The benchmark regression gate (repro.obs.benchdiff, repro bench)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.benchdiff import (
+    BenchComparison,
+    MetricDelta,
+    compare_documents,
+    load_document,
+)
+
+
+def _doc(**metrics):
+    return {"bench": "core", "schema": 1, "metrics": metrics}
+
+
+class TestMetricDelta:
+    def test_pct(self):
+        assert MetricDelta("m", 0.1, 0.2).pct == pytest.approx(100.0)
+        assert MetricDelta("m", 0.2, 0.1).pct == pytest.approx(-50.0)
+        assert MetricDelta("m", 0.0, 0.1).pct is None
+
+    def test_regressed(self):
+        assert MetricDelta("m", 0.1, 0.2).regressed(25.0)
+        assert not MetricDelta("m", 0.1, 0.12).regressed(25.0)
+        assert not MetricDelta("m", 0.0, 9.9).regressed(25.0)
+
+
+class TestCompareDocuments:
+    def test_synthetic_2x_regression_fails_default(self):
+        old = _doc(full_build_p50_s=0.1, full_build_count=5)
+        new = _doc(full_build_p50_s=0.2, full_build_count=5)
+        comparison = compare_documents(old, new)
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == \
+            ["full_build_p50_s"]
+        assert "REGRESSION" in comparison.render()
+
+    def test_generous_threshold_passes(self):
+        old = _doc(full_build_p50_s=0.1)
+        new = _doc(full_build_p50_s=0.2)
+        assert compare_documents(old, new, max_regress_pct=150.0).ok
+
+    def test_improvement_and_noise_pass(self):
+        old = _doc(a_p50_s=0.1, b_p50_s=0.1)
+        new = _doc(a_p50_s=0.05, b_p50_s=0.11)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert "ok" in comparison.render().splitlines()[-1]
+
+    def test_counts_not_gated(self):
+        old = _doc(a_p50_s=0.1, a_count=5)
+        new = _doc(a_p50_s=0.1, a_count=500)  # counts may change freely
+        comparison = compare_documents(old, new)
+        assert [d.name for d in comparison.deltas] == ["a_p50_s"]
+
+    def test_one_sided_metrics_reported_not_gated(self):
+        old = _doc(gone_p50_s=0.1, stays_p50_s=0.1)
+        new = _doc(stays_p50_s=0.1, fresh_p50_s=99.0)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert comparison.only_old == ["gone_p50_s"]
+        assert comparison.only_new == ["fresh_p50_s"]
+        rendered = comparison.render()
+        assert "missing from NEW" in rendered
+        assert "new metric" in rendered
+
+    def test_empty_documents(self):
+        comparison = compare_documents(_doc(), _doc())
+        assert comparison.ok
+        assert "no comparable metrics" in comparison.render()
+
+
+class TestLoadDocument:
+    def test_valid(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_doc(a_p50_s=0.1)))
+        assert load_document(str(path))["metrics"]["a_p50_s"] == 0.1
+
+    def test_rejects_non_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_document(str(path))
+
+    def test_committed_baseline_is_loadable(self):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        document = load_document(os.path.join(root, "BENCH_core.json"))
+        assert any(name.endswith("_p50_s")
+                   for name in document["metrics"])
+
+
+class TestBenchCompareCLI:
+    def _write(self, tmp_path, name, **metrics):
+        path = tmp_path / name
+        path.write_text(json.dumps(_doc(**metrics)))
+        return str(path)
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", full_build_p50_s=0.1)
+        new = self._write(tmp_path, "new.json", full_build_p50_s=0.2)
+        assert main(["bench", "compare", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "full_build_p50_s" in out
+
+    def test_threshold_flag(self, tmp_path):
+        old = self._write(tmp_path, "old.json", full_build_p50_s=0.1)
+        new = self._write(tmp_path, "new.json", full_build_p50_s=0.2)
+        assert main(["bench", "compare", old, new,
+                     "--max-regress-pct", "150"]) == 0
+
+    def test_identical_documents_pass(self, tmp_path):
+        old = self._write(tmp_path, "old.json", full_build_p50_s=0.1)
+        new = self._write(tmp_path, "new.json", full_build_p50_s=0.1)
+        assert main(["bench", "compare", old, new]) == 0
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", a_p50_s=0.1)
+        assert main(["bench", "compare", old,
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        old = self._write(tmp_path, "old.json", a_p50_s=0.1)
+        assert main(["bench", "compare", old, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -330,3 +330,26 @@ class TestMonitorCommand:
                      "monitor", "check"]) == 2
         assert main(["monitor", "--out", str(tmp_path / "d"),
                      "trace", "check"]) == 2
+
+
+class TestServeCommandErrors:
+    def test_serve_needs_a_command(self, capsys):
+        assert main(["serve"]) == 2
+        assert "serve needs a command" in capsys.readouterr().err
+
+    def test_serve_cannot_wrap_itself(self, capsys):
+        assert main(["serve", "serve", "build"]) == 2
+        assert "cannot wrap" in capsys.readouterr().err
+
+    def test_serve_only_wraps_build(self, workspace, capsys):
+        code = main(["serve", "schema",
+                     "--query", str(workspace / "site.struql")])
+        assert code == 2
+        assert "wraps 'build'" in capsys.readouterr().err
+
+    def test_serve_requires_templates(self, workspace, capsys):
+        code = main(["serve", "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql")])
+        assert code == 2
+        assert "--templates" in capsys.readouterr().err

@@ -580,3 +580,48 @@ class TestPromExport:
         obs.write_prometheus(self._registry(), str(path))
         assert path.read_text().endswith("\n")
         obs.parse_prometheus(path.read_text())  # parses cleanly
+
+    def test_constant_labels_on_every_sample(self):
+        registry = self._registry()
+        text = obs.to_prometheus(registry, labels={"site": "fig2"})
+        parsed = obs.parse_prometheus(text)
+        for name, labels, _ in parsed["samples"]:
+            assert labels["site"] == "fig2", name
+        # Histogram buckets keep their le label next to the constant.
+        bucket_labels = [labels for name, labels, _ in parsed["samples"]
+                         if name == "strudel_lat_bucket"]
+        assert bucket_labels and all("le" in ls for ls in bucket_labels)
+
+    def test_label_values_escaped_round_trip(self):
+        hostile = 'quote " backslash \\ newline \n done'
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(0.001)
+        text = obs.to_prometheus(registry, labels={"path": hostile})
+        # The newline was escaped into backslash-n, not emitted raw.
+        assert "newline \\n done" in text
+        assert "newline \n done" not in text
+        parsed = obs.parse_prometheus(text)
+        for name, labels, _ in parsed["samples"]:
+            assert labels["path"] == hostile, name
+
+    def test_escaped_backslash_n_is_not_a_newline(self):
+        """The two-character sequence backslash-n must survive as-is."""
+        from repro.obs.promexport import _unescape_label
+        tricky = "a\\n"  # backslash + n, NOT a newline
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        text = obs.to_prometheus(registry, labels={"v": tricky})
+        assert r'v="a\\n"' in text
+        parsed = obs.parse_prometheus(text)
+        assert parsed["samples"][0][1]["v"] == tricky
+        assert _unescape_label("\\n") == "\n"
+        assert _unescape_label("\\\\n") == "\\n"
+
+    def test_escape_helpers(self):
+        assert obs.escape_label_value('a"b') == 'a\\"b'
+        assert obs.escape_label_value("a\\b") == "a\\\\b"
+        assert obs.escape_label_value("a\nb") == "a\\nb"
+        assert obs.format_labels(None) == ""
+        assert obs.format_labels({}) == ""
+        assert obs.format_labels({"a": 1, "b": "x"}) == '{a="1",b="x"}'

@@ -1,0 +1,428 @@
+"""The live telemetry HTTP plane (repro.obs.http) and repro serve."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.http import (
+    DEBUG_TRACE_DEPTH,
+    SERVE_MAX_ROOTS,
+    TelemetryHTTPServer,
+    serving_recorder,
+)
+from repro.obs.trace import (
+    TAIL_ERRORS_KEPT,
+    TAIL_RECENT_KEPT,
+    TAIL_SLOWEST_KEPT,
+    Span,
+    TailSampler,
+    TraceRecorder,
+)
+from repro.site import DynamicSiteServer
+from repro.sites.homepage import (
+    FIG2_DDL,
+    FIG3_QUERY,
+    fig2_data,
+    fig7_templates,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _span(name, seconds, **attrs):
+    span = Span(name, dict(attrs), start=0.0, end=seconds)
+    return span
+
+
+class TestTailSampler:
+    def test_recent_ring_bounded_oldest_first(self):
+        tail = TailSampler(recent=3)
+        for i in range(5):
+            tail.offer(_span(f"t{i}", 0.001))
+        assert [s.name for s in tail.recent] == ["t2", "t3", "t4"]
+        assert tail.offered == 5
+
+    def test_slowest_survive_newer_faster_traces(self):
+        tail = TailSampler(slow=2)
+        tail.offer(_span("slow", 9.0))
+        tail.offer(_span("slower", 10.0))
+        for i in range(20):
+            tail.offer(_span(f"fast{i}", 0.001))
+        assert [s.name for s in tail.slowest] == ["slower", "slow"]
+
+    def test_error_traces_kept(self):
+        tail = TailSampler(errors=2)
+        tail.offer(_span("ok", 0.001, status=200))
+        child_fail = _span("parent", 0.002)
+        child_fail.children.append(_span("child", 0.001, error="boom"))
+        tail.offer(child_fail)
+        tail.offer(_span("5xx", 0.001, status=503))
+        assert [s.name for s in tail.errors] == ["parent", "5xx"]
+
+    def test_is_error_trace(self):
+        assert not TailSampler.is_error_trace(_span("ok", 0, status=200))
+        assert TailSampler.is_error_trace(_span("e", 0, error="x"))
+        assert TailSampler.is_error_trace(_span("s", 0, status=500))
+        # Non-integer status attributes never classify as errors.
+        assert not TailSampler.is_error_trace(_span("s", 0, status="bad"))
+
+    def test_clear(self):
+        tail = TailSampler()
+        tail.offer(_span("a", 1.0, error="x"))
+        tail.clear()
+        assert tail.recent == [] and tail.slowest == []
+        assert tail.errors == [] and tail.offered == 0
+
+    def test_default_bounds(self):
+        tail = TailSampler()
+        for i in range(TAIL_RECENT_KEPT * 2):
+            tail.offer(_span(f"t{i}", 0.001, error="x"))
+        assert len(tail.recent) == TAIL_RECENT_KEPT
+        assert len(tail.slowest) == TAIL_SLOWEST_KEPT
+        assert len(tail.errors) == TAIL_ERRORS_KEPT
+
+
+class TestServingRecorder:
+    def test_roots_bounded_with_tail(self):
+        recorder = serving_recorder()
+        assert isinstance(recorder.tail, TailSampler)
+        for i in range(SERVE_MAX_ROOTS + 10):
+            with recorder.span(f"r{i}"):
+                pass
+        assert len(recorder.roots) == SERVE_MAX_ROOTS
+        assert recorder.roots_dropped == 10
+        assert recorder.tail.offered == SERVE_MAX_ROOTS + 10
+
+    def test_completed_traces_offered_to_tail(self):
+        recorder = TraceRecorder(tail=TailSampler())
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        # Only the completed *root* is offered, once.
+        assert recorder.tail.offered == 1
+        assert recorder.tail.recent[0].name == "outer"
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+@pytest.fixture
+def plane():
+    """A ready TelemetryHTTPServer over the Fig 2/3 site, torn down."""
+    recorder = obs.enable(serving_recorder())
+    site = DynamicSiteServer(FIG3_QUERY, fig2_data(), fig7_templates())
+    server = TelemetryHTTPServer(recorder, port=0, access_log=False)
+    server.start_background()
+    try:
+        server.mount(site)
+        site.warm()
+        server.set_ready()
+        yield server
+    finally:
+        server.request_shutdown()
+        thread = server._serve_thread
+        if thread is not None:
+            thread.join(10)
+        server.server_close()
+        obs.disable()
+
+
+class TestEndpoints:
+    def test_healthz_before_ready(self):
+        recorder = obs.enable(serving_recorder())
+        server = TelemetryHTTPServer(recorder, port=0, access_log=False)
+        server.start_background()
+        try:
+            status, _, body = _get(server.url + "/healthz")
+            assert (status, body) == (200, "ok\n")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/readyz")
+            assert err.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/RootPage__.html")
+            assert err.value.code == 503
+        finally:
+            server.request_shutdown()
+            server._serve_thread.join(10)
+            server.server_close()
+
+    def test_readyz_flips_after_warm(self, plane):
+        status, _, body = _get(plane.url + "/readyz")
+        assert (status, body) == (200, "ready\n")
+
+    def test_root_page_served_with_request_id(self, plane):
+        status, headers, body = _get(plane.url + "/")
+        assert status == 200
+        assert "Publications" in body
+        assert headers["X-Request-Id"].startswith("req-")
+        assert headers["Content-Type"].startswith("text/html")
+
+    def test_named_page_served(self, plane):
+        status, _, body = _get(plane.url + "/RootPage__.html")
+        assert status == 200 and "Publications" in body
+
+    def test_unknown_page_404(self, plane):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(plane.url + "/nope.html")
+        assert err.value.code == 404
+
+    def test_unknown_debug_endpoint_404(self, plane):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(plane.url + "/debug/nope")
+        assert err.value.code == 404
+
+    def test_metrics_parseable_and_counting(self, plane):
+        _get(plane.url + "/")
+        _, headers, text = _get(plane.url + "/metrics")
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = obs.parse_prometheus(text)
+        requests = next(v for n, _, v in parsed["samples"]
+                        if n == "strudel_http_requests_total")
+        assert requests >= 1
+        names = {n for n, _, _ in parsed["samples"]}
+        assert "strudel_server_request_seconds_count" in names
+
+    def test_debug_traces_correlate_request_id(self, plane):
+        _, headers, _ = _get(plane.url + "/")
+        request_id = headers["X-Request-Id"]
+        _, _, text = _get(plane.url + "/debug/traces")
+        doc = json.loads(text)
+        assert doc["offered"] >= 1
+        ids = {root["attributes"].get("request")
+               for root in doc["recent"]}
+        assert request_id in ids
+        # The page request's whole tree hangs under one http.request
+        # root (warm-up traces appear as separate roots alongside).
+        assert any(root["name"] == "http.request"
+                   and root["attributes"].get("request") == request_id
+                   for root in doc["recent"])
+
+    def test_debug_traces_depth_param(self, plane):
+        _get(plane.url + "/")
+        _, _, text = _get(plane.url + "/debug/traces?depth=1")
+        doc = json.loads(text)
+        page_roots = [r for r in doc["recent"]
+                      if r["attributes"].get("path") == "/"]
+        assert page_roots and all(r["children"] == []
+                                  for r in page_roots)
+
+    def test_debug_events_correlate_request_id(self, plane):
+        _, headers, _ = _get(plane.url + "/")
+        request_id = headers["X-Request-Id"]
+        _, _, text = _get(plane.url + "/debug/events")
+        events = json.loads(text)
+        access = [e for e in events if e["name"] == "http.access"]
+        assert request_id in {e["attributes"].get("request")
+                              for e in access}
+        # The site layer logged the same id (one request, one story).
+        served = [e for e in events if e["name"] == "server.request"]
+        assert request_id in {e["attributes"].get("request")
+                              for e in served}
+
+    def test_debug_events_level_and_limit(self, plane):
+        with pytest.raises(urllib.error.HTTPError):
+            _get(plane.url + "/nope.html")  # emits a warning event
+        _, _, text = _get(plane.url + "/debug/events?level=warning")
+        events = json.loads(text)
+        assert events
+        assert all(e["level"] in ("warning", "error") for e in events)
+        _, _, text = _get(plane.url + "/debug/events?limit=1")
+        assert len(json.loads(text)) == 1
+
+    def test_debug_profile(self, plane):
+        _get(plane.url + "/")
+        _, _, text = _get(plane.url + "/debug/profile")
+        entries = json.loads(text)
+        names = {e["name"] for e in entries}
+        assert "http.request" in names and "server.request" in names
+        for entry in entries:
+            assert entry["calls"] >= 1
+            assert entry["cum_seconds"] >= entry["self_seconds"] >= 0
+
+    def test_internal_route_error_is_500(self, plane):
+        plane.mount(None)  # readiness stays set: _page now crashes...
+        plane.site_server = _Exploder()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(plane.url + "/")
+        assert err.value.code == 500
+        errors = plane.recorder.metrics.counter("http.errors").value
+        assert errors == 1
+        _, _, text = _get(plane.url + "/debug/traces")
+        assert json.loads(text)["errors"], "error trace tail-sampled"
+
+
+class _Exploder:
+    def roots(self):
+        raise RuntimeError("boom")
+
+
+class TestSnapshot:
+    def test_write_snapshot_files(self, plane, tmp_path):
+        _get(plane.url + "/")
+        paths = plane.write_snapshot(str(tmp_path / "snap"))
+        assert os.path.isfile(paths["metrics"])
+        assert os.path.isfile(paths["events"])
+        assert os.path.isfile(paths["snapshot"])
+        obs.parse_prometheus(
+            open(paths["metrics"], encoding="utf-8").read())
+        with open(paths["snapshot"], encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["uptime_seconds"] > 0
+        assert doc["server"]["requests"] >= 1
+        assert doc["traces"]["offered"] >= 1
+        assert any(e["name"] == "http.request" for e in doc["profile"])
+
+
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 50
+
+    def test_no_lost_updates_under_load(self, plane):
+        """8 threads x 50 requests: every counter lands exactly once."""
+        page_fetches = 0
+        metrics_bodies = []
+        failures = []
+
+        def worker(index):
+            for i in range(self.PER_THREAD):
+                try:
+                    if i % 2:
+                        _, _, text = _get(plane.url + "/metrics")
+                        if index == 0 and i == self.PER_THREAD // 2:
+                            metrics_bodies.append(text)
+                    else:
+                        _get(plane.url + "/")
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not failures
+        total = self.THREADS * self.PER_THREAD
+        page_fetches = self.THREADS * (self.PER_THREAD -
+                                       self.PER_THREAD // 2)
+        metrics = plane.recorder.metrics
+        assert metrics.counter("http.requests").value == total
+        log = plane.site_server.log
+        assert log.requests == page_fetches
+        assert log.errors == 0
+        assert metrics.counter("server.requests").value == page_fetches
+        # A mid-load exposition parsed cleanly.
+        assert metrics_bodies
+        obs.parse_prometheus(metrics_bodies[0])
+        # And the final one accounts every request exactly.
+        _, _, text = _get(plane.url + "/metrics")
+        parsed = obs.parse_prometheus(text)
+        served = next(v for n, _, v in parsed["samples"]
+                      if n == "strudel_server_requests_total")
+        assert served == page_fetches
+
+
+class TestServeCLI:
+    """End-to-end: repro serve as a real subprocess over real HTTP."""
+
+    def _workspace(self, tmp_path):
+        (tmp_path / "pubs.ddl").write_text(FIG2_DDL)
+        (tmp_path / "site.struql").write_text(FIG3_QUERY)
+        templates_dir = tmp_path / "templates"
+        templates_dir.mkdir()
+        templates = fig7_templates()
+        for name in templates.names():
+            suffix = ".tmpl" if templates.is_page_template(name) \
+                else ".component.tmpl"
+            (templates_dir / f"{name}{suffix}").write_text(
+                templates.get(name).source)
+        return tmp_path
+
+    def test_serve_integration(self, tmp_path):
+        workspace = self._workspace(tmp_path)
+        snap = tmp_path / "snap"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--snapshot-dir", str(snap), "build",
+             "--data", str(workspace / "pubs.ddl"),
+             "--query", str(workspace / "site.struql"),
+             "--templates", str(workspace / "templates")],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env, cwd=str(tmp_path))
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving on http://")
+            base = banner.split("serving on ", 1)[1]
+
+            deadline = time.time() + 30
+            ready = False
+            while time.time() < deadline:
+                try:
+                    status, _, _ = _get(base + "/readyz", timeout=2)
+                    if status == 200:
+                        ready = True
+                        break
+                except (urllib.error.HTTPError, urllib.error.URLError,
+                        OSError):
+                    pass
+                time.sleep(0.1)
+            assert ready, "server never became ready"
+
+            status, _, _ = _get(base + "/healthz")
+            assert status == 200
+            status, headers, body = _get(base + "/")
+            assert status == 200 and "Publications" in body
+            request_id = headers["X-Request-Id"]
+
+            _, _, metrics_text = _get(base + "/metrics")
+            parsed = obs.parse_prometheus(metrics_text)
+            assert any(n == "strudel_http_requests_total"
+                       for n, _, _ in parsed["samples"])
+
+            _, _, traces_text = _get(base + "/debug/traces")
+            traces = json.loads(traces_text)
+            ids = {root["attributes"].get("request")
+                   for root in traces["recent"]}
+            assert request_id in ids
+
+            _, _, events_text = _get(base + "/debug/events")
+            events = json.loads(events_text)
+            assert request_id in {
+                e["attributes"].get("request") for e in events
+                if e["name"] == "http.access"}
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(10)
+            proc.stdout.close()
+        assert proc.returncode == 0
+        # Graceful shutdown flushed the final snapshot.
+        assert (snap / "metrics.prom").is_file()
+        assert (snap / "events.jsonl").is_file()
+        assert (snap / "snapshot.json").is_file()
+        doc = json.loads((snap / "snapshot.json").read_text())
+        assert doc["server"]["requests"] >= 1

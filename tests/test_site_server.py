@@ -195,3 +195,115 @@ class TestServerLogSnapshot:
         assert events[-1].attributes["request"] == response.request_id
         assert events[-1].trace_id
         obs.disable()
+
+
+class TestRequestIdPassThrough:
+    def test_front_end_id_wins(self, server):
+        response = server.request(server.roots()[0], request_id="req-77")
+        assert response.request_id == "req-77"
+        assert server.log.slowest[0]["id"] == "req-77"
+
+    def test_passed_id_reaches_span_and_events(self, server):
+        from repro import obs
+        with obs.recording() as rec:
+            server.invalidate()
+            response = server.request(server.roots()[0],
+                                      request_id="req-ext")
+        assert response.span.attributes["request"] == "req-ext"
+        served = [e for e in rec.events.records()
+                  if e.name == "server.request"]
+        assert served[-1].attributes["request"] == "req-ext"
+
+
+class TestErrorClassification:
+    def test_classify_error(self):
+        from repro.errors import PageNotFoundError, SiteError
+        from repro.site.server import classify_error
+        assert classify_error(PageNotFoundError("x")) == \
+            (404, "not_found")
+        assert classify_error(SiteError("x")) == (500, "SiteError")
+        assert classify_error(ValueError("x")) == (500, "internal")
+
+    def test_render_failure_is_500(self, server, monkeypatch):
+        from repro import obs
+
+        def explode(oid):
+            raise ValueError("render blew up")
+
+        with obs.recording() as rec:
+            server.invalidate()
+            monkeypatch.setattr(server.generator, "render", explode)
+            response = server.request(server.roots()[0])
+        assert response.status == 500
+        assert "500 Internal Server Error" in response.body
+        assert "internal" in response.body
+        assert response.span.attributes["error"] == "internal"
+        assert server.log.errors == 1
+        assert rec.metrics.counter("server.errors").value == 1
+        assert rec.metrics.counter("server.errors.internal").value == 1
+        errors = [e for e in rec.events.records()
+                  if e.name == "server.error"]
+        assert errors and errors[-1].attributes["kind"] == "internal"
+
+    def test_404_keeps_not_found_classification(self, server):
+        from repro import obs
+        with obs.recording() as rec:
+            server.invalidate()
+            response = server.request("nope.html")
+        assert response.status == 404
+        assert "error" not in response.span.attributes
+        assert rec.metrics.counter(
+            "server.errors.not_found").value == 1
+
+
+class TestSlowRequestWarning:
+    def test_slowest_heap_entry_warns(self):
+        from repro import obs
+        from repro.site.server import ServerLog
+        with obs.recording() as rec:
+            log = ServerLog()
+            log.record(0.25, request_id="req-1", page="p", status=200)
+        warns = [e for e in rec.events.records()
+                 if e.name == "server.slow_request"]
+        assert len(warns) == 1
+        assert warns[0].level == "warning"
+        assert warns[0].attributes["request"] == "req-1"
+        assert rec.metrics.counter("server.slow_requests").value == 1
+
+    def test_threshold_suppresses_fast_requests(self):
+        from repro import obs
+        from repro.site.server import ServerLog
+        with obs.recording() as rec:
+            log = ServerLog(slow_warn_seconds=0.1)
+            log.record(0.001, request_id="req-1", page="p", status=200)
+            log.record(0.5, request_id="req-2", page="p", status=200)
+        warns = [e for e in rec.events.records()
+                 if e.name == "server.slow_request"]
+        assert [e.attributes["request"] for e in warns] == ["req-2"]
+
+    def test_no_warning_without_heap_entry(self):
+        from repro import obs
+        from repro.site.server import ServerLog
+        with obs.recording() as rec:
+            log = ServerLog()
+            log.record(0.5)  # no id/page: never enters the heap
+        assert not [e for e in rec.events.records()
+                    if e.name == "server.slow_request"]
+
+    def test_counts_are_lock_guarded(self):
+        import threading
+        from repro.site.server import ServerLog
+        log = ServerLog()
+
+        def worker():
+            for _ in range(500):
+                log.count_request()
+                log.count_error()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.requests == 8 * 500
+        assert log.errors == 8 * 500

@@ -134,3 +134,51 @@ class TestDashboardSite:
         missing = {name for name in created
                    if templates.get(name) is None}
         assert not missing, missing
+
+
+class TestLiveEndpoints:
+    def test_summary_carries_live_links(self, busy_recorder):
+        from repro.graph import Atom
+        from repro.sites.monitor import LIVE_ENDPOINTS
+        recorder, _ = busy_recorder
+        graph = telemetry_graph(recorder,
+                                live_url="http://127.0.0.1:8080/")
+        summary = graph.collection("Summary")[0]
+        live = graph.get_one(summary, "live")
+        assert isinstance(live, Atom)
+        assert live.value == "http://127.0.0.1:8080"  # slash stripped
+        endpoints = {str(v.value)
+                     for v in graph.get(summary, "endpoint")}
+        assert endpoints == {f"http://127.0.0.1:8080{p}"
+                             for p in LIVE_ENDPOINTS}
+
+    def test_no_live_url_no_edges(self, busy_recorder):
+        recorder, _ = busy_recorder
+        graph = telemetry_graph(recorder)
+        summary = graph.collection("Summary")[0]
+        assert graph.get_one(summary, "live") is None
+        assert graph.get(summary, "endpoint") == []
+
+    def test_dashboard_renders_live_section(self, busy_recorder,
+                                            tmp_path):
+        recorder, log = busy_recorder
+        site = build_monitor_site(recorder, server_log=log,
+                                  live_url="http://127.0.0.1:9999")
+        out = tmp_path / "live"
+        out.mkdir()
+        site.generate(str(out))
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "Live endpoints" in dashboard
+        assert "http://127.0.0.1:9999/metrics" in dashboard
+        assert "http://127.0.0.1:9999/readyz" in dashboard
+
+    def test_dashboard_omits_live_section_by_default(self,
+                                                     busy_recorder,
+                                                     tmp_path):
+        recorder, log = busy_recorder
+        site = build_monitor_site(recorder, server_log=log)
+        out = tmp_path / "nolive"
+        out.mkdir()
+        site.generate(str(out))
+        assert "Live endpoints" not in \
+            (out / "Dashboard__.html").read_text()
