@@ -30,6 +30,7 @@ from repro import obs
 CORE_SPAN_METRICS = {
     "index_build_p50_s": "index.build",
     "struql_eval_p50_s": "struql.query",
+    "struql_opt_p50_s": "struql.optimize",
     "full_build_p50_s": "site.build",
 }
 

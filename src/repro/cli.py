@@ -9,6 +9,8 @@ without writing Python:
           --query site.struql --templates templates/ --out www/
     $ python -m repro schema --query site.struql [--dot]
     $ python -m repro check  --query site.struql
+    $ python -m repro explain --query site.struql --data pubs.bib \\
+          [--analyze] [--json]
     $ python -m repro diff   --query site.struql --data pubs.bib \\
           --old-site site.json
     $ python -m repro trace [--quiet] [--metrics-out obs.json] \\
@@ -214,6 +216,39 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.empty else 3
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN (and EXPLAIN ANALYZE) a StruQL query.
+
+    Without ``--analyze`` the query is planned but never executed: each
+    block shows its operator pipeline annotated with the chosen access
+    path and estimated cardinality, plus the optimizer's step-by-step
+    decision trace.  With ``--analyze`` the query runs and every
+    operator reports estimated vs actual rows, wall milliseconds and
+    index hits; est/actual divergences beyond 10x are flagged and
+    emitted as ``struql.misestimate`` events.  ``--json`` prints the
+    machine-readable document instead (the CI smoke-test shape).
+    """
+    from repro.obs.queries import explain_document, render_explain
+    query = _read_query(args.query)
+    data = load_data(args.data or [], query.input_name)
+    engine = QueryEngine(optimizer=args.optimizer, decision_trace=True)
+    if args.analyze:
+        if query.params:
+            print("error: --analyze cannot run a query with declared "
+                  f"params ({', '.join(query.params)}); omit --analyze "
+                  "for the plan", file=sys.stderr)
+            return 2
+        result = engine.evaluate(query, data)
+    else:
+        result = engine.plan_only(query, data)
+    if args.json:
+        print(json.dumps(explain_document(result, analyze=args.analyze),
+                         indent=2))
+    else:
+        print(render_explain(result, analyze=args.analyze))
+    return 0
+
+
 def _check_wrapped(rest: list[str], name: str) -> str | None:
     """Validate a wrapped-command argument list; an error string or
     ``None``."""
@@ -229,10 +264,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Run another command with the observability layer enabled.
 
     Prints the span tree, the hotspot profile and a metrics digest
-    afterwards (``--quiet``: metrics digest only); ``--metrics-out``
-    additionally writes the full JSON document (bench-compatible: the
-    same shape ``BENCH_obs.json`` uses).  The wrapped command's exit
-    code is propagated.
+    afterwards (``--quiet``: metrics digest only; ``--profile``:
+    hotspot profile only; ``--json``: a machine-readable document —
+    printed after the wrapped command's own output — holding the
+    profile, plus metrics and events unless ``--profile`` narrows it).
+    ``--metrics-out`` additionally writes the full JSON document
+    (bench-compatible: the same shape ``BENCH_obs.json`` uses).  The
+    wrapped command's exit code is propagated.
     """
     from repro.obs.export import (
         render_metrics,
@@ -241,6 +279,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         write_json,
     )
     from repro.obs.promexport import write_prometheus
+    from repro.obs.trace import aggregate_profile
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest = rest[1:]
@@ -251,15 +290,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     with obs.recording() as recorder:
         code = main(rest)
     print()
-    if not args.quiet:
-        print("== trace " + "=" * 54)
-        print(render_tree(recorder))
-        print()
+    if args.json:
+        document: dict = {"profile": [
+            entry.to_dict() for entry in aggregate_profile(recorder)]}
+        if not args.profile:
+            document["metrics"] = recorder.metrics.as_dict()
+            document["events"] = recorder.events.to_dicts()
+        print(json.dumps(document, indent=2))
+    elif args.profile:
         print("== hotspots " + "=" * 51)
         print(render_profile(recorder))
-        print()
-    print("== metrics " + "=" * 52)
-    print(render_metrics(recorder.metrics))
+    else:
+        if not args.quiet:
+            print("== trace " + "=" * 54)
+            print(render_tree(recorder))
+            print()
+            print("== hotspots " + "=" * 51)
+            print(render_profile(recorder))
+            print()
+        print("== metrics " + "=" * 52)
+        print(render_metrics(recorder.metrics))
     try:
         if args.metrics_out:
             write_json(recorder, args.metrics_out)
@@ -365,7 +415,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 1
     print(f"serving on http://{args.host}:{plane.port}", flush=True)
     print("telemetry: /metrics /healthz /readyz /debug/traces "
-          "/debug/events /debug/profile", flush=True)
+          "/debug/events /debug/profile /debug/queries", flush=True)
     thread = plane.start_background()
     plane.install_signal_handlers()
     try:
@@ -478,9 +528,34 @@ def make_parser() -> argparse.ArgumentParser:
     trace.add_argument("--quiet", action="store_true",
                        help="suppress the span tree and hotspot table "
                             "(metrics digest only)")
+    trace.add_argument("--profile", action="store_true",
+                       help="print only the hotspot profile")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output (profile, "
+                            "plus metrics and events unless --profile)")
     trace.add_argument("rest", nargs=argparse.REMAINDER,
                        help="the command to run, e.g. build --data ...")
     trace.set_defaults(fn=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show a query's plan, estimates and optimizer decisions "
+             "(EXPLAIN), optionally executing it (EXPLAIN ANALYZE)")
+    explain.add_argument("--query", required=True,
+                         help="StruQL query file to explain")
+    explain.add_argument("--data", action="append",
+                         help="data file (repeatable; optional — "
+                              "without data the plan uses empty "
+                              "statistics)")
+    explain.add_argument("--optimizer", default="cost",
+                         choices=("naive", "heuristic", "cost"))
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the query and show estimated vs "
+                              "actual rows, time and index hits per "
+                              "operator")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+    explain.set_defaults(fn=cmd_explain)
 
     monitor = sub.add_parser(
         "monitor",

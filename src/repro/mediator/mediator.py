@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro.errors import MediatorError
 from repro.graph.model import Graph
+from repro.obs.queries import fingerprint
 from repro.obs.trace import emit_event, get_recorder
 from repro.repository.repository import Repository
 from repro.struql.ast import Query
@@ -110,7 +111,8 @@ class Mediator:
                                nodes=source_graph.node_count,
                                edges=source_graph.edge_count)
                 with recorder.span("mediator.map",
-                                   source=mapping.input_name):
+                                   source=mapping.input_name,
+                                   fingerprint=fingerprint(mapping)):
                     self.engine.evaluate(mapping, source_graph,
                                          output=mediated, skolem=skolem)
         return mediated

@@ -218,15 +218,21 @@ class EventLog:
         """Events pushed out of the ring buffer by newer ones."""
         return self._dropped
 
-    def records(self, level: str | None = None) -> list[Event]:
-        """The buffered events, oldest first; ``level`` filters by
-        minimum severity."""
+    def records(self, level: str | None = None,
+                name: str | None = None) -> list[Event]:
+        """The buffered events, oldest first.
+
+        ``level`` filters by minimum severity; ``name`` keeps only
+        events with that exact name (e.g. ``struql.slow_query``).
+        """
         with self._lock:
             events = list(self._buffer)
-        if level is None:
-            return events
-        floor = level_rank(level)
-        return [e for e in events if level_rank(e.level) >= floor]
+        if level is not None:
+            floor = level_rank(level)
+            events = [e for e in events if level_rank(e.level) >= floor]
+        if name is not None:
+            events = [e for e in events if e.name == name]
+        return events
 
     def to_dicts(self) -> list[dict]:
         """Plain-data form of every buffered event (export shape)."""
@@ -287,7 +293,8 @@ class NullEventLog:
 
     debug = info = warning = error = emit
 
-    def records(self, level: str | None = None) -> list:
+    def records(self, level: str | None = None,
+                name: str | None = None) -> list:
         return []
 
     def to_dicts(self) -> list:

@@ -22,8 +22,11 @@ answers two kinds of traffic on one port:
                   are loaded and warmed, 200 after
   ``/debug/traces``   the tail sampler's recent / slowest / error
                   traces as JSON span trees
-  ``/debug/events``   the most recent structured events
+  ``/debug/events``   the most recent structured events (filter with
+                  ``?level=`` and ``?name=``)
   ``/debug/profile``  the per-stage hotspot profile
+  ``/debug/queries``  the bounded query plan registry: per-fingerprint
+                  counts, p50/p95 latency, rows, last plan
   ============== =====================================================
 
 Every request gets a ``req-N`` id stamped into its span attributes,
@@ -49,6 +52,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import span_to_dict
 from repro.obs.promexport import to_prometheus, write_prometheus
+from repro.obs.queries import get_query_registry
 from repro.obs.trace import (
     NullRecorder,
     TailSampler,
@@ -74,6 +78,10 @@ DEBUG_TRACE_DEPTH = 4
 #: Default number of events ``/debug/events`` returns, newest last
 #: (override with ``?limit=N``).
 DEBUG_EVENT_LIMIT = 200
+
+#: Default number of fingerprints ``/debug/queries`` returns, slowest
+#: (by p95) first (override with ``?limit=N``).
+DEBUG_QUERY_LIMIT = 50
 
 
 def serving_recorder(name: str = "serve") -> TraceRecorder:
@@ -208,6 +216,8 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             "uptime_seconds": time.time() - self.started,
             "profile": self._profile_payload(limit=None),
             "traces": self._traces_payload(DEBUG_TRACE_DEPTH),
+            "queries": get_query_registry().snapshot(
+                limit=DEBUG_QUERY_LIMIT),
             "server": (self.site_server.log.snapshot()
                        if self.site_server is not None else None),
         }
@@ -283,6 +293,10 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             limit = _int_param(query, "limit", 0) or None
             return 200, CONTENT_JSON, json.dumps(
                 self._profile_payload(limit), indent=2)
+        if path == "/debug/queries":
+            limit = _int_param(query, "limit", DEBUG_QUERY_LIMIT)
+            return 200, CONTENT_JSON, json.dumps(
+                get_query_registry().snapshot(limit=limit), indent=2)
         if path.startswith("/debug/"):
             return 404, CONTENT_TEXT, f"no such debug endpoint: {path}\n"
         return self._page(path, request_id)
@@ -323,7 +337,8 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
     def _events_payload(self, query: dict) -> list[dict]:
         limit = _int_param(query, "limit", DEBUG_EVENT_LIMIT)
         level = query.get("level", [None])[0]
-        events = self.recorder.events.records(level)
+        name = query.get("name", [None])[0]
+        events = self.recorder.events.records(level, name=name)
         if limit > 0:
             events = events[-limit:]
         return [event.to_dict() for event in events]
@@ -332,13 +347,7 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         entries = aggregate_profile(self.recorder)
         if limit:
             entries = entries[:limit]
-        return [{
-            "name": entry.name,
-            "calls": entry.calls,
-            "self_seconds": entry.self_seconds,
-            "cum_seconds": entry.cum_seconds,
-            "mean_seconds": entry.mean_seconds,
-        } for entry in entries]
+        return [entry.to_dict() for entry in entries]
 
 
 def _int_param(query: dict, name: str, default: int) -> int:

@@ -28,6 +28,29 @@ from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
 #: Default prefix stamped onto every exported metric name.
 DEFAULT_PREFIX = "strudel"
 
+#: Hand-written HELP text for well-known instruments; everything else
+#: falls back to a generic "Counter/Gauge {name}." line.
+HELP_TEXT: dict[str, str] = {
+    "struql.queries_observed":
+        "StruQL query evaluations recorded by the plan registry.",
+    "struql.query_fingerprints":
+        "Distinct query fingerprints currently held by the bounded "
+        "plan registry.",
+    "struql.slow_queries":
+        "Evaluations at or above the slow-query threshold "
+        "(struql.slow_query events).",
+    "struql.misestimates":
+        "Blocks whose estimated/actual cardinality ratio exceeded the "
+        "misestimate threshold.",
+    "struql.rows_scanned":
+        "Rows consumed by StruQL physical operators.",
+    "struql.rows_produced":
+        "Rows emitted by StruQL physical operators.",
+    "repository.index.hits": "Labeled edge lookups served by an index.",
+    "repository.index.misses":
+        "Labeled edge lookups that fell back to a linear edge scan.",
+}
+
 _NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
 
 
@@ -117,12 +140,14 @@ def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX,
     lines: list[str] = []
     for name, value in data.get("counters", {}).items():
         base = sanitize_name(name, prefix) + "_total"
-        lines.append(f"# HELP {base} {escape_help(f'Counter {name}.')}")
+        help_text = HELP_TEXT.get(name, f"Counter {name}.")
+        lines.append(f"# HELP {base} {escape_help(help_text)}")
         lines.append(f"# TYPE {base} counter")
         lines.append(f"{base}{label_str} {_format_value(value)}")
     for name, value in data.get("gauges", {}).items():
         base = sanitize_name(name, prefix)
-        lines.append(f"# HELP {base} {escape_help(f'Gauge {name}.')}")
+        help_text = HELP_TEXT.get(name, f"Gauge {name}.")
+        lines.append(f"# HELP {base} {escape_help(help_text)}")
         lines.append(f"# TYPE {base} gauge")
         lines.append(f"{base}{label_str} {_format_value(value)}")
     for name, summary in data.get("histograms", {}).items():

@@ -492,6 +492,17 @@ class ProfileEntry:
         """Mean cumulative seconds per call."""
         return self.cum_seconds / self.calls if self.calls else 0.0
 
+    def to_dict(self) -> dict:
+        """Plain-data form shared by ``/debug/profile`` and
+        ``repro trace --json``."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "self_seconds": self.self_seconds,
+            "cum_seconds": self.cum_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
 
 def aggregate_profile(source: "TraceRecorder | NullRecorder | "
                               "Iterable[Span]") -> list[ProfileEntry]:

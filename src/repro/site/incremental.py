@@ -22,11 +22,13 @@ query processor" lives in the wrapper's materialized-page set.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import PageNotFoundError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.queries import get_query_registry
 from repro.obs.trace import get_recorder
 from repro.struql.ast import AggregateCond, Const, Query, SkolemTerm, Var
 from repro.struql.bindings import Binding, RuntimeValue, as_label
@@ -90,9 +92,18 @@ class DynamicSite:
             return self._page_cache[oid]
         if oid.skolem_fn is None:
             raise PageNotFoundError(oid)
+        started = time.perf_counter()
         with recorder.span("site.compute_page", page=str(oid)) as span:
             view = self._compute(oid)
             span.set(edges=len(view.edges))
+        # Click-time computes are partial evaluations of the one site
+        # query, so they aggregate under its fingerprint: the registry's
+        # p50/p95 become the site's live page-compute latency.
+        get_query_registry().observe(
+            self.query, seconds=time.perf_counter() - started,
+            rows=len(view.edges),
+            optimizer=getattr(self.engine.optimizer, "name",
+                              str(self.engine.optimizer)))
         if self._cache_enabled:
             self._page_cache[oid] = view
         self.stats["pages_computed"] += 1

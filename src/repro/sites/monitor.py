@@ -19,6 +19,7 @@ import time
 
 from repro.graph.model import Graph, Oid
 from repro.graph.values import Atom
+from repro.obs.queries import get_query_registry
 from repro.obs.trace import (
     NullRecorder,
     Span,
@@ -32,11 +33,14 @@ from repro.templates.generator import TemplateSet
 #: records far more spans than a dashboard can usefully show.
 MAX_SPAN_NODES = 4000
 
+#: Cap on query-registry fingerprints shown on the Queries page.
+MAX_QUERY_NODES = 50
+
 #: Collections the telemetry graph always declares (so the query's
 #: where clauses are well-formed even over an idle recorder).
 TELEMETRY_COLLECTIONS = (
     "Spans", "Traces", "Stages", "Counters", "Gauges", "Histograms",
-    "Events", "Requests", "Summary",
+    "Events", "Requests", "Queries", "Summary",
 )
 
 
@@ -107,13 +111,14 @@ def _metric_nodes(graph: Graph, metrics: dict) -> None:
 #: The telemetry-plane paths a live ``repro serve`` process exposes
 #: (mirrored on the dashboard when a ``live_url`` is given).
 LIVE_ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/debug/traces",
-                  "/debug/events", "/debug/profile")
+                  "/debug/events", "/debug/profile", "/debug/queries")
 
 
 def telemetry_graph(recorder: TraceRecorder | NullRecorder,
                     server_log=None,
                     max_spans: int = MAX_SPAN_NODES,
-                    live_url: str | None = None) -> Graph:
+                    live_url: str | None = None,
+                    queries=None) -> Graph:
     """A recorder's telemetry as an ordinary STRUDEL data graph.
 
     ``server_log`` is an optional :class:`~repro.site.server.ServerLog`
@@ -122,7 +127,10 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     ``live_url`` is the base URL of a running ``repro serve`` process;
     when given, the summary node carries it plus the endpoint list, so
     the generated dashboard links to the live telemetry plane instead
-    of being a purely post-hoc view.
+    of being a purely post-hoc view.  ``queries`` is an optional
+    :class:`~repro.obs.queries.QueryStatsRegistry` (or its
+    ``snapshot()`` dict); by default the process-global query registry
+    feeds the ``Queries`` collection.
     """
     graph = Graph("TELEMETRY")
     for name in TELEMETRY_COLLECTIONS:
@@ -174,6 +182,28 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
                            Atom.int(entry.get("status") or 0))
             graph.add_edge(oid, "ms", _ms(entry.get("seconds", 0.0)))
 
+    if queries is None:
+        queries = get_query_registry()
+    query_snapshot = queries if isinstance(queries, dict) \
+        else queries.snapshot(limit=MAX_QUERY_NODES)
+    query_entries = query_snapshot.get("queries", ())[:MAX_QUERY_NODES]
+    for rank, entry in enumerate(query_entries, 1):
+        oid = graph.add_node(Oid(f"query-{entry.get('fingerprint')}"))
+        graph.add_to_collection("Queries", oid)
+        graph.add_edge(oid, "rank", Atom.int(rank))
+        graph.add_edge(oid, "fingerprint",
+                       Atom.string(entry.get("fingerprint") or "-"))
+        graph.add_edge(oid, "text", Atom.string(entry.get("text") or "-"))
+        graph.add_edge(oid, "count", Atom.int(entry.get("count", 0)))
+        graph.add_edge(oid, "slow", Atom.int(entry.get("slow", 0)))
+        graph.add_edge(oid, "misestimates",
+                       Atom.int(entry.get("misestimates", 0)))
+        graph.add_edge(oid, "rows", Atom.int(entry.get("rows_total", 0)))
+        graph.add_edge(oid, "p50_ms", _ms(entry.get("p50_s", 0.0)))
+        graph.add_edge(oid, "p95_ms", _ms(entry.get("p95_s", 0.0)))
+        graph.add_edge(oid, "optimizer",
+                       Atom.string(entry.get("last_optimizer") or "-"))
+
     summary = graph.add_node(Oid("summary"))
     graph.add_to_collection("Summary", summary)
     graph.add_edge(summary, "spans", Atom.int(span_count))
@@ -185,6 +215,8 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     graph.add_edge(summary, "histograms",
                    Atom.int(len(metrics.get("histograms", {}))))
     graph.add_edge(summary, "events", Atom.int(len(events)))
+    graph.add_edge(summary, "queries",
+                   Atom.int(query_snapshot.get("fingerprints", 0)))
     graph.add_edge(summary, "generated", Atom.string(
         time.strftime("%Y-%m-%d %H:%M:%S")))
     if live_url:
@@ -204,12 +236,13 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
 MONITOR_QUERY = """
 INPUT TELEMETRY
 CREATE Dashboard(), StageIndex(), TraceIndex(), MetricsPage(),
-       RequestsPage(), EventsPage()
+       RequestsPage(), EventsPage(), QueriesPage()
 LINK Dashboard() -> "Stages" -> StageIndex(),
      Dashboard() -> "Traces" -> TraceIndex(),
      Dashboard() -> "Metrics" -> MetricsPage(),
      Dashboard() -> "Requests" -> RequestsPage(),
-     Dashboard() -> "Events" -> EventsPage()
+     Dashboard() -> "Events" -> EventsPage(),
+     Dashboard() -> "Queries" -> QueriesPage()
 // Overview numbers straight off the summary node
 { WHERE Summary(m), m -> l -> v
   LINK Dashboard() -> l -> v
@@ -267,6 +300,12 @@ LINK Dashboard() -> "Stages" -> StageIndex(),
   LINK EventRow(e) -> l -> v,
        EventsPage() -> "Event" -> EventRow(e)
 }
+// Per-fingerprint query stats from the plan registry
+{ WHERE Queries(q), q -> l -> v
+  CREATE QueryRow(q)
+  LINK QueryRow(q) -> l -> v,
+       QueriesPage() -> "Query" -> QueryRow(q)
+}
 OUTPUT MONITOR
 """
 
@@ -290,6 +329,7 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @Metrics TAG="Metrics tables"></LI>
 <LI><SFMT @Requests TAG="Slowest requests"></LI>
 <LI><SFMT @Events TAG="Event log"></LI>
+<LI><SFMT @Queries TAG="Query registry"></LI>
 </UL>
 <SIF @live><H2>Live endpoints</H2>
 <P>A <TT>repro serve</TT> process is exporting this telemetry at
@@ -380,14 +420,34 @@ cumulative <SFMT @cum_ms> ms, mean <SFMT @avg_ms> ms</P>
 <TD><SFMT @name><SIF @message> — <SFMT @message></SIF></TD>
 <TD><SIF @span><SFMT @span></SIF></TD>
 <TD><SIF @detail><SFMT @detail></SIF></TD></TR>""", as_page=False)
+    templates.add("QueriesPage", """<HTML><HEAD><TITLE>Queries</TITLE></HEAD>
+<BODY>
+<H1>Query registry</H1>
+<P>Per-fingerprint StruQL query stats, worst p95 first (the live
+counterpart is <TT>/debug/queries</TT>).</P>
+<SIF @Query>
+<TABLE><TR><TH>fingerprint</TH><TH>query</TH><TH>runs</TH>
+<TH>p50 ms</TH><TH>p95 ms</TH><TH>rows</TH><TH>slow</TH>
+<TH>misest.</TH><TH>optimizer</TH></TR>
+<SFMTLIST @Query FORMAT=EMBED ORDER=ascend KEY=rank DELIM="">
+</TABLE>
+<SELSE><P>No queries observed.</P></SIF>
+</BODY></HTML>""")
+    templates.add("QueryRow", """<TR><TD><TT><SFMT @fingerprint></TT></TD>
+<TD><TT><SFMT @text></TT></TD><TD><SFMT @count></TD>
+<TD><SFMT @p50_ms></TD><TD><SFMT @p95_ms></TD><TD><SFMT @rows></TD>
+<TD><SFMT @slow></TD><TD><SFMT @misestimates></TD>
+<TD><SFMT @optimizer></TD></TR>""", as_page=False)
     return templates
 
 
 def build_monitor_site(recorder: TraceRecorder | NullRecorder,
                        server_log=None,
                        max_spans: int = MAX_SPAN_NODES,
-                       live_url: str | None = None) -> Website:
+                       live_url: str | None = None,
+                       queries=None) -> Website:
     """The monitoring dashboard over one recorder's telemetry."""
     data = telemetry_graph(recorder, server_log=server_log,
-                           max_spans=max_spans, live_url=live_url)
+                           max_spans=max_spans, live_url=live_url,
+                           queries=queries)
     return Website(data, MONITOR_QUERY, monitor_templates())

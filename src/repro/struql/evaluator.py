@@ -20,9 +20,17 @@ queries agree on the identity of Skolem-created pages.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.graph.model import Graph
+from repro.obs.queries import (
+    MISESTIMATE_RATIO,
+    fingerprint,
+    get_query_registry,
+    misestimate_ratio,
+    render_explain,
+)
 from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
 from repro.repository.indexes import GraphIndex
 from repro.repository.repository import Repository
@@ -38,6 +46,7 @@ from repro.struql.bindings import Binding
 from repro.struql.construction import GraphBuilder
 from repro.struql.optimizer import get_optimizer
 from repro.struql.optimizer.base import Optimizer
+from repro.struql.optimizer.cost import annotate_plan, trace_decisions
 from repro.struql.parser import parse_query
 from repro.struql.plan import ExecutionContext, Plan
 from repro.struql.predicates import PredicateRegistry, default_registry
@@ -50,11 +59,20 @@ class BlockTrace(TimedResult):
 
     ``seconds`` derives from the ``struql.block`` span that timed the
     evaluation, so the trace tree and this summary always agree.
+    ``op_profiles`` holds the per-operator EXPLAIN ANALYZE counters of
+    the executed plan; ``decisions`` is the optimizer decision trace
+    when the engine was built with ``decision_trace=True``;
+    ``executed`` is False for plan-only traces
+    (:meth:`QueryEngine.plan_only`), whose row counts are estimates.
     """
 
     label: str
     plan_explain: str
     binding_rows: int
+    estimated_rows: float | None = None
+    op_profiles: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    executed: bool = True
 
 
 @dataclass
@@ -64,6 +82,8 @@ class QueryResult:
     output: Graph
     skolem: SkolemRegistry
     traces: list[BlockTrace] = field(default_factory=list)
+    fingerprint: str = ""
+    optimizer_name: str = ""
 
     @property
     def total_bindings(self) -> int:
@@ -80,13 +100,19 @@ class QueryResult:
                           f"{trace.plan_explain}")
         return "\n\n".join(chunks)
 
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE: per-operator estimated vs actual rows,
+        wall time, index hits, and flagged misestimates."""
+        return render_explain(self, analyze=True)
+
 
 class QueryEngine:
     """Evaluates StruQL queries against graphs or a repository."""
 
     def __init__(self, optimizer: str | Optimizer = "cost",
                  predicates: PredicateRegistry | None = None,
-                 indexing: bool = True) -> None:
+                 indexing: bool = True,
+                 decision_trace: bool = False) -> None:
         if isinstance(optimizer, str):
             optimizer = get_optimizer(optimizer)
         self.optimizer = optimizer
@@ -94,6 +120,11 @@ class QueryEngine:
         #: When False, evaluation never consults or builds graph indexes
         #: (the benchmark A1 ablation switch).
         self.indexing = indexing
+        #: When True, every block trace carries the optimizer decision
+        #: trace (candidate access paths and costs per ordering step) —
+        #: the ``repro explain`` mode; off by default to keep the hot
+        #: path free of the replay cost.
+        self.decision_trace = decision_trace
 
     # -- public API --------------------------------------------------------------
 
@@ -131,22 +162,86 @@ class QueryEngine:
         for block in query.blocks():
             for collect in block.collects:
                 output.declare_collection(collect.name)
+        result.fingerprint = fingerprint(query)
+        result.optimizer_name = self.optimizer.name
         seed: Binding = dict(initial) if initial else {}
         missing = [p for p in query.params if p not in seed]
         if missing:
             from repro.errors import UnboundVariableError
             raise UnboundVariableError(missing[0])
+        started = time.perf_counter()
         with get_recorder().span("struql.query", input=query.input_name,
                                  output=query.output_name,
                                  optimizer=self.optimizer.name,
-                                 indexed=index is not None):
+                                 indexed=index is not None,
+                                 fingerprint=result.fingerprint):
             self._run_block(query.root, [seed], set(seed), ctx, builder,
                             result, stats)
             emit_event("info", "struql.query",
                        input=query.input_name, output=query.output_name,
+                       fingerprint=result.fingerprint,
                        blocks=len(result.traces),
                        nodes=result.output.node_count,
                        edges=result.output.edge_count)
+        get_query_registry().observe(
+            query, seconds=time.perf_counter() - started,
+            rows=result.total_bindings, plan=result.explain(),
+            optimizer=self.optimizer.name,
+            misestimates=sum(
+                1 for t in result.traces
+                if t.estimated_rows is not None and misestimate_ratio(
+                    t.estimated_rows, t.binding_rows) > MISESTIMATE_RATIO))
+        return result
+
+    def plan_only(self, query: Query | str, graph: Graph,
+                  stats: GraphStatistics | None = None) -> QueryResult:
+        """EXPLAIN without ANALYZE: plan every block, execute nothing.
+
+        Orders each block's conditions exactly as :meth:`evaluate`
+        would, annotates the plans with cost-model estimates and access
+        paths, and (when ``decision_trace`` is on) records the optimizer
+        decision trace — but never touches a row.  The returned result
+        has an empty output graph and plan-only traces
+        (``executed=False``, ``binding_rows=0``).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if stats is None:
+            stats = GraphStatistics.gather(graph)
+        result = QueryResult(output=Graph(query.output_name),
+                             skolem=SkolemRegistry(),
+                             fingerprint=fingerprint(query),
+                             optimizer_name=self.optimizer.name)
+        # Preorder through the nesting tree, mirroring _run_block.
+        pending = [(query.root, set(query.params), 1.0)]
+        while pending:
+            block, bound, parent_estimate = pending.pop(0)
+            estimate = parent_estimate
+            if block.conditions:
+                ordered = self.optimizer.order(
+                    block.conditions, bound, graph, self.predicates, stats)
+                ordered = _enforce_aggregate_order(ordered)
+                plan = Plan.from_conditions(ordered)
+                estimate = annotate_plan(plan.ops, bound, stats,
+                                         parent_rows=parent_estimate,
+                                         graph=graph)
+                decisions = trace_decisions(
+                    ordered, bound, stats, graph, self.predicates,
+                    optimizer=self.optimizer,
+                    parent_rows=parent_estimate) \
+                    if self.decision_trace else []
+                result.traces.append(BlockTrace(
+                    label=block.label, plan_explain=plan.explain(),
+                    binding_rows=0, estimated_rows=round(estimate, 2),
+                    decisions=decisions, executed=False))
+            else:
+                result.traces.append(BlockTrace(
+                    label=block.label, plan_explain="(no conditions)",
+                    binding_rows=0, estimated_rows=round(estimate, 2),
+                    executed=False))
+            child_bound = bound | block.variables()
+            pending[0:0] = [(child, child_bound, estimate)
+                            for child in block.children]
         return result
 
     def run(self, query: Query | str, repository: Repository,
@@ -177,24 +272,48 @@ class QueryEngine:
                    stats: GraphStatistics | None) -> None:
         recorder = get_recorder()
         with timed("struql.block", label=block.label or "(top)") as span:
+            estimated: float | None = None
+            profiles: list = []
+            decisions: list = []
             if block.conditions:
-                ordered = self.optimizer.order(
-                    block.conditions, bound, ctx.graph, ctx.predicates,
-                    stats)
-                ordered = _enforce_aggregate_order(ordered)
-                if recorder.enabled and stats is not None:
-                    span.set(estimated_rows=_estimate_rows(
-                        ordered, bound, len(parent_rows), stats))
+                with recorder.span("struql.optimize",
+                                   optimizer=self.optimizer.name,
+                                   conditions=len(block.conditions)):
+                    ordered = self.optimizer.order(
+                        block.conditions, bound, ctx.graph,
+                        ctx.predicates, stats)
+                    ordered = _enforce_aggregate_order(ordered)
                 plan = Plan.from_conditions(ordered)
+                if stats is not None:
+                    estimated = round(annotate_plan(
+                        plan.ops, bound, stats,
+                        parent_rows=len(parent_rows),
+                        graph=ctx.graph), 2)
+                    if recorder.enabled:
+                        span.set(estimated_rows=estimated)
+                    if self.decision_trace:
+                        decisions = trace_decisions(
+                            ordered, bound, stats, ctx.graph,
+                            ctx.predicates, optimizer=self.optimizer,
+                            parent_rows=len(parent_rows))
                 rows = plan.execute(ctx,
                                     initial=[dict(r) for r in parent_rows])
                 explain = plan.explain()
+                profiles = plan.profiles
             else:
                 rows = parent_rows
                 explain = "(no conditions)"
             if recorder.enabled:
                 span.set(optimizer=self.optimizer.name,
                          actual_rows=len(rows))
+            if estimated is not None:
+                ratio = misestimate_ratio(estimated, len(rows))
+                if ratio > MISESTIMATE_RATIO:
+                    emit_event("warning", "struql.misestimate",
+                               block=block.label or "(top)",
+                               estimated=estimated, actual=len(rows),
+                               ratio=round(ratio, 1),
+                               optimizer=self.optimizer.name)
             with recorder.span("struql.construct", rows=len(rows)):
                 for row in rows:
                     builder.apply_block_row(block, row)
@@ -202,6 +321,9 @@ class QueryEngine:
             label=block.label,
             plan_explain=explain,
             binding_rows=len(rows),
+            estimated_rows=estimated,
+            op_profiles=profiles,
+            decisions=decisions,
             span=span,
         ))
         child_bound = bound | block.variables()
@@ -234,24 +356,6 @@ def _enforce_aggregate_order(ordered: list[Condition]
         else:
             before.append(condition)
     return before + aggregates + after
-
-
-def _estimate_rows(ordered: list[Condition], bound: set[str],
-                   parent_rows: int, stats: GraphStatistics) -> float:
-    """The optimizer's cardinality forecast for an ordered plan.
-
-    Recorded next to the actual row count so traces expose estimation
-    error, the quantity that decides whether cost-based ordering can be
-    trusted on a given workload.
-    """
-    from repro.struql.optimizer.cost import estimate_condition
-    estimate = float(parent_rows or 1)
-    known = set(bound)
-    for condition in ordered:
-        multiplier, _ = estimate_condition(condition, known, stats)
-        estimate *= multiplier
-        known |= condition_variables(condition)
-    return round(estimate, 2)
 
 
 def evaluate(query: Query | str, graph: Graph,

@@ -10,6 +10,7 @@ not run before its variables are bound.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.graph.model import Graph
@@ -60,6 +61,32 @@ def executable(condition: Condition, bound: set[str], graph: Graph,
     raise TypeError(f"not a condition: {condition!r}")
 
 
+@dataclass
+class OrderDecision:
+    """One step of an optimizer decision trace.
+
+    Records, for the condition the optimizer placed at ``step``, every
+    pending candidate it weighed at that point — each with its
+    executability, cost-model numbers, and the access path the operator
+    would choose given the bound set — plus the running cardinality
+    estimate after applying the winner.  Produced by
+    :func:`repro.struql.optimizer.cost.trace_decisions`.
+    """
+
+    step: int
+    chosen: str
+    est_rows: float
+    candidates: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "chosen": self.chosen,
+            "est_rows": self.est_rows,
+            "candidates": self.candidates,
+        }
+
+
 class Optimizer:
     """Base class: order a conjunction of conditions."""
 
@@ -76,6 +103,16 @@ class Optimizer:
         ``None``.
         """
         raise NotImplementedError
+
+    def annotate_candidate(self, condition: Condition, bound: set[str],
+                           graph: Graph) -> dict:
+        """Optimizer-specific extras for a decision-trace candidate.
+
+        Subclasses override to expose the quantity their ordering
+        actually ranks on (the heuristic optimizer reports its structural
+        rank tier); the base contributes nothing.
+        """
+        return {}
 
 
 _REGISTRY: dict[str, type[Optimizer]] = {}

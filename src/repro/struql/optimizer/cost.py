@@ -49,6 +49,7 @@ from repro.struql.ast import (
 )
 from repro.struql.optimizer.base import (
     Optimizer,
+    OrderDecision,
     executable,
     register_optimizer,
 )
@@ -157,6 +158,200 @@ def estimate_condition(condition: Condition, bound: set[str],
         return 1.0, 1.0
 
     raise TypeError(f"not a condition: {condition!r}")
+
+
+# -- access paths and decision traces (EXPLAIN support) -----------------------
+
+
+def _single_label(path: RegularPath) -> str | None:
+    """The label when a regular path is one constant-label step."""
+    if isinstance(path, RLabel) and isinstance(path.pred, LabelEquals):
+        return path.pred.label
+    return None
+
+
+def candidate_access_paths(condition: Condition, bound: set[str],
+                           stats: GraphStatistics,
+                           graph: Graph | None = None) -> list[dict]:
+    """The access-path arms an operator could take for ``condition``.
+
+    Mirrors the adaptive dispatch inside :mod:`repro.struql.plan`: each
+    arm says whether it applies given the ``bound`` variables, a rough
+    per-input-row cost from statistics, and whether the operator would
+    actually choose it (the first applicable arm in dispatch priority).
+    This is what the optimizer decision trace shows per candidate.
+    """
+    def arm(name: str, applicable: bool, cost: float) -> dict:
+        return {"access_path": name, "applicable": applicable,
+                "est_cost": round(max(cost, 0.0), 4), "chosen": False}
+
+    domain = max(stats.node_count + stats.atom_count, 1)
+    arms: list[dict] = []
+    if isinstance(condition, PathCond):
+        src = _anchored(condition.source, bound)
+        tgt = _anchored(condition.target, bound)
+        if condition.arc_var is not None:
+            arc = condition.arc_var in bound
+            fan_out = max(stats.any_label_fan_out(), 0.01)
+            fan_in = max(stats.edge_count / domain, 0.01)
+            per_label = stats.edge_count / max(len(stats.labels), 1) \
+                if stats.labels else float(stats.edge_count)
+            arms = [
+                arm("forward-index" if arc else "out-edge-scan", src,
+                    fan_out * (0.5 if arc else 1.0)),
+                arm("backward-index" if arc else "in-edge-scan", tgt,
+                    fan_in),
+                arm("attribute-extent-scan", arc, per_label),
+                arm("full-edge-scan", True, float(stats.edge_count)),
+            ]
+        else:
+            assert condition.path is not None
+            label = _single_label(condition.path)
+            if label is not None:
+                arms = [
+                    arm("forward-index", src,
+                        max(stats.label_fan_out(label), 0.001)),
+                    arm("backward-index", tgt,
+                        max(stats.label_fan_in(label), 0.001)),
+                    arm("attribute-extent-scan", True,
+                        float(stats.label_edges(label))),
+                ]
+            else:
+                fan = estimate_path_fanout(condition.path, stats)
+                arms = [
+                    arm("automaton-connect", src and tgt,
+                        fan / max(stats.node_count, 1)),
+                    arm("automaton-forward", src, fan),
+                    arm("automaton-backward", tgt, fan),
+                    arm("automaton-pairs", True,
+                        max(stats.node_count, 1) * max(fan, 0.01)),
+                ]
+    elif isinstance(condition, MembershipCond):
+        size = stats.collection_size(condition.name)
+        is_collection = (graph.has_collection(condition.name)
+                         if graph is not None else size > 0)
+        if is_collection:
+            args = condition.args
+            arg_bound = bool(args) and (
+                isinstance(args[0], Const) or args[0].name in bound)
+            arms = [
+                arm("membership-test", arg_bound, 1.0),
+                arm("collection-scan", True, float(size)),
+            ]
+        else:
+            arms = [arm("predicate-filter", True, 1.0)]
+    elif isinstance(condition, ComparisonCond):
+        frees = condition_variables(condition) - bound
+        arms = [
+            arm("filter", not frees, 0.1),
+            arm("equality-bind",
+                bool(frees) and condition.op == "=" and len(frees) == 1,
+                0.1),
+        ]
+    elif isinstance(condition, InCond):
+        arms = [
+            arm("filter", condition.var.name in bound,
+                0.1 * len(condition.values)),
+            arm("constant-list-bind", True, float(len(condition.values))),
+        ]
+    elif isinstance(condition, NotCond):
+        frees = condition_variables(condition.inner) - bound
+        arms = [
+            arm("anti-filter", not frees, 1.0),
+            arm("active-domain-scan", True,
+                float(domain) ** max(len(frees), 1)),
+        ]
+    elif isinstance(condition, AggregateCond):
+        arms = [arm("blocking-aggregate", True, 1.0)]
+    else:
+        raise TypeError(f"not a condition: {condition!r}")
+    for candidate in arms:
+        if candidate["applicable"]:
+            candidate["chosen"] = True
+            break
+    return arms
+
+
+def access_path_for(condition: Condition, bound: set[str],
+                    stats: GraphStatistics,
+                    graph: Graph | None = None) -> str:
+    """The access path the operator will take given the bound set."""
+    for candidate in candidate_access_paths(condition, bound, stats, graph):
+        if candidate["chosen"]:
+            return candidate["access_path"]
+    return "unknown"
+
+
+def annotate_plan(ops, bound: set[str], stats: GraphStatistics,
+                  parent_rows: float = 1.0,
+                  graph: Graph | None = None) -> float:
+    """Thread cost-model estimates into an ordered operator pipeline.
+
+    Sets ``est_multiplier``/``cost_weight``/``est_rows``/``access_path``
+    on each :class:`~repro.struql.plan.PhysicalOp` so ``Plan.explain()``
+    and EXPLAIN ANALYZE can show estimated-vs-actual side by side.
+    Returns the final cardinality estimate.
+    """
+    rows = max(float(parent_rows), 1.0)
+    known = set(bound)
+    for op in ops:
+        multiplier, weight = estimate_condition(op.condition, known, stats)
+        rows = max(rows * multiplier, 0.0)
+        op.est_multiplier = multiplier
+        op.cost_weight = weight
+        op.est_rows = round(rows, 2)
+        op.access_path = access_path_for(op.condition, known, stats, graph)
+        known |= condition_variables(op.condition)
+    return rows
+
+
+def trace_decisions(ordered: Sequence[Condition], bound: set[str],
+                    stats: GraphStatistics, graph: Graph,
+                    predicates: PredicateRegistry,
+                    optimizer: Optimizer | None = None,
+                    parent_rows: float = 1.0) -> list[OrderDecision]:
+    """Replay an ordering as a step-by-step decision trace.
+
+    For every position in ``ordered``, lists the candidates that were
+    still pending — executability, cost-model multiplier/weight, the
+    access path each would use, and the incremental cost the greedy
+    objective assigns — marking the condition actually placed there.
+    ``optimizer.annotate_candidate`` merges in optimizer-specific extras
+    (e.g. the heuristic rank tier).
+    """
+    decisions: list[OrderDecision] = []
+    pending = list(ordered)
+    known = set(bound)
+    rows = max(float(parent_rows), 1.0)
+    for step, condition in enumerate(ordered, start=1):
+        candidates = []
+        for pending_condition in pending:
+            runnable = executable(pending_condition, known, graph,
+                                  predicates)
+            multiplier, weight = estimate_condition(pending_condition,
+                                                    known, stats)
+            candidate = {
+                "condition": str(pending_condition),
+                "executable": runnable,
+                "multiplier": round(multiplier, 4),
+                "cost_weight": weight,
+                "est_cost": round(rows * weight + rows * multiplier, 4),
+                "access_path": access_path_for(pending_condition, known,
+                                               stats, graph),
+                "chosen": pending_condition is condition,
+            }
+            if optimizer is not None:
+                candidate.update(optimizer.annotate_candidate(
+                    pending_condition, known, graph))
+            candidates.append(candidate)
+        multiplier, _ = estimate_condition(condition, known, stats)
+        rows = max(rows * multiplier, 0.0)
+        known |= condition_variables(condition)
+        pending.remove(condition)
+        decisions.append(OrderDecision(
+            step=step, chosen=str(condition),
+            est_rows=round(rows, 2), candidates=candidates))
+    return decisions
 
 
 @register_optimizer

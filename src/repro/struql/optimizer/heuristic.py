@@ -83,7 +83,7 @@ class HeuristicOptimizer(Optimizer):
             best_index = min(
                 (i for i in range(len(pending))
                  if executable(pending[i], known, graph, predicates)),
-                key=lambda i: self._rank(pending[i], known, graph),
+                key=lambda i: self.rank(pending[i], known, graph),
                 default=None)
             if best_index is None:
                 ordered.extend(pending)
@@ -93,8 +93,14 @@ class HeuristicOptimizer(Optimizer):
             known |= condition_variables(condition)
         return ordered
 
-    def _rank(self, condition: Condition, bound: set[str],
-              graph: Graph) -> tuple[int, int]:
+    def annotate_candidate(self, condition: Condition, bound: set[str],
+                           graph: Graph) -> dict:
+        """Expose the structural rank tier in decision traces."""
+        tier, new = self.rank(condition, bound, graph)
+        return {"rank_tier": tier, "new_vars": new}
+
+    def rank(self, condition: Condition, bound: set[str],
+             graph: Graph) -> tuple[int, int]:
         """Lower is better; the second component keeps ties stable-ish
         by preferring conditions that bind fewer new variables."""
         new = len(condition_variables(condition) - bound)

@@ -30,11 +30,14 @@ The optimizers in :mod:`repro.struql.optimizer` decide only the operator
 from __future__ import annotations
 
 import itertools
+import time
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Union
 
 from repro.errors import StruQLError, UnboundVariableError, UnknownPredicateError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.queries import MISESTIMATE_RATIO, misestimate_ratio
 from repro.obs.trace import get_recorder
 from repro.repository.indexes import GraphIndex
 from repro.repository.stats import GraphStatistics
@@ -84,6 +87,11 @@ class ExecutionContext:
         metrics = get_recorder().metrics
         self._index_hits = metrics.counter("repository.index.hits")
         self._index_misses = metrics.counter("repository.index.misses")
+        # Plain-int mirrors of the counters above, so per-operator
+        # profiling (EXPLAIN ANALYZE) can take deltas even when the
+        # global recorder is disabled.
+        self.index_hit_count = 0
+        self.index_miss_count = 0
 
     def path_evaluator(self, expr: RegularPath) -> PathEvaluator:
         evaluator = self._path_evaluators.get(expr)
@@ -102,32 +110,40 @@ class ExecutionContext:
     def targets(self, source: Oid, label: str) -> list[GraphObject]:
         if self.index is not None:
             self._index_hits.inc()
+            self.index_hit_count += 1
             return self.index.targets(source, label)
         self._index_misses.inc()
+        self.index_miss_count += 1
         return [e.target for e in self.graph.edges()
                 if e.source == source and e.label == label]
 
     def sources(self, label: str, target: GraphObject) -> list[Oid]:
         if self.index is not None:
             self._index_hits.inc()
+            self.index_hit_count += 1
             return self.index.sources(label, target)
         self._index_misses.inc()
+        self.index_miss_count += 1
         return [e.source for e in self.graph.edges()
                 if e.label == label and runtime_eq(e.target, target)]
 
     def attribute_extent(self, label: str) -> list[tuple[Oid, GraphObject]]:
         if self.index is not None:
             self._index_hits.inc()
+            self.index_hit_count += 1
             return self.index.attribute_extent(label)
         self._index_misses.inc()
+        self.index_miss_count += 1
         return [(e.source, e.target) for e in self.graph.edges()
                 if e.label == label]
 
     def labels(self) -> list[str]:
         if self.index is not None:
             self._index_hits.inc()
+            self.index_hit_count += 1
             return self.index.labels()
         self._index_misses.inc()
+        self.index_miss_count += 1
         return self.graph.labels()
 
 
@@ -145,10 +161,65 @@ def _pred_arg(value: RuntimeValue) -> Union[Oid, Atom]:
     return value
 
 
+@dataclass
+class OpProfile:
+    """EXPLAIN ANALYZE counters for one operator in one execution.
+
+    Collected unconditionally by :meth:`Plan.execute` (two clock reads
+    and a couple of integer deltas per operator — negligible next to row
+    iteration) so ``repro explain --analyze`` works without enabling the
+    global trace recorder.
+    """
+
+    op: str
+    condition: str
+    rows_in: int = 0
+    rows_out: int = 0
+    invocations: int = 0
+    seconds: float = 0.0
+    index_hits: int = 0
+    index_misses: int = 0
+    est_rows: float | None = None
+    access_path: str | None = None
+
+    @property
+    def est_actual_ratio(self) -> float:
+        return misestimate_ratio(self.est_rows, self.rows_out)
+
+    @property
+    def misestimated(self) -> bool:
+        return (self.est_rows is not None
+                and self.est_actual_ratio > MISESTIMATE_RATIO)
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "condition": self.condition,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "invocations": self.invocations,
+            "seconds": self.seconds,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "est_rows": self.est_rows,
+            "access_path": self.access_path,
+            "misestimate": self.misestimated,
+        }
+
+
 class PhysicalOp:
     """Base operator: consumes bindings, emits extended bindings."""
 
     condition: Condition
+
+    # Optimizer annotations threaded in by
+    # :func:`repro.struql.optimizer.cost.annotate_plan`; ``None`` until a
+    # plan is annotated.  ``access_path`` names the access method the
+    # operator will choose given the variables bound at its position.
+    est_rows: float | None = None
+    est_multiplier: float | None = None
+    cost_weight: float | None = None
+    access_path: str | None = None
 
     def extend(self, rows: Iterable[Binding],
                ctx: ExecutionContext) -> Iterator[Binding]:
@@ -156,6 +227,18 @@ class PhysicalOp:
 
     def explain(self) -> str:
         raise NotImplementedError
+
+    def explain_annotated(self) -> str:
+        """The stable one-line form plus optimizer annotations."""
+        line = self.explain()
+        extras = []
+        if self.access_path:
+            extras.append(f"via {self.access_path}")
+        if self.est_rows is not None:
+            extras.append(f"est~{self.est_rows:g} rows")
+        if extras:
+            line += "  [" + ", ".join(extras) + "]"
+        return line
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.condition}>"
@@ -594,10 +677,16 @@ def make_op(condition: Condition) -> PhysicalOp:
 
 
 class Plan:
-    """An ordered pipeline of physical operators."""
+    """An ordered pipeline of physical operators.
+
+    Each :meth:`execute` refreshes :attr:`profiles` with one
+    :class:`OpProfile` per operator that ran (operators after an empty
+    intermediate result are skipped and get no profile).
+    """
 
     def __init__(self, ops: list[PhysicalOp]) -> None:
         self.ops = ops
+        self.profiles: list[OpProfile] = []
 
     @classmethod
     def from_conditions(cls, conditions: Iterable[Condition]) -> "Plan":
@@ -609,28 +698,55 @@ class Plan:
         """Run the pipeline; ``initial`` defaults to one empty binding."""
         rows: list[Binding] = initial if initial is not None else [{}]
         recorder = get_recorder()
-        if not recorder.enabled:
-            for op in self.ops:
-                rows = list(op.extend(rows, ctx))
-                if not rows:
-                    break
-            return rows
-        scanned = recorder.metrics.counter("struql.rows_scanned")
-        produced = recorder.metrics.counter("struql.rows_produced")
+        profiles: list[OpProfile] = []
+        self.profiles = profiles
+        if recorder.enabled:
+            scanned = recorder.metrics.counter("struql.rows_scanned")
+            produced = recorder.metrics.counter("struql.rows_produced")
         for op in self.ops:
             before = len(rows)
-            with recorder.span("struql.op", op=op.explain()) as span:
+            hits0 = ctx.index_hit_count
+            misses0 = ctx.index_miss_count
+            start = time.perf_counter()
+            if recorder.enabled:
+                with recorder.span("struql.op", op=op.explain()) as span:
+                    rows = list(op.extend(rows, ctx))
+                    span.set(rows_scanned=before, rows_produced=len(rows))
+                    if op.est_rows is not None:
+                        span.set(est_rows=op.est_rows)
+                    if op.access_path is not None:
+                        span.set(access_path=op.access_path)
+                scanned.inc(before)
+                produced.inc(len(rows))
+            else:
                 rows = list(op.extend(rows, ctx))
-                span.set(rows_scanned=before, rows_produced=len(rows))
-            scanned.inc(before)
-            produced.inc(len(rows))
+            profiles.append(OpProfile(
+                op=op.explain(),
+                condition=str(op.condition),
+                rows_in=before,
+                rows_out=len(rows),
+                invocations=1,
+                seconds=time.perf_counter() - start,
+                index_hits=ctx.index_hit_count - hits0,
+                index_misses=ctx.index_miss_count - misses0,
+                est_rows=op.est_rows,
+                access_path=op.access_path,
+            ))
             if not rows:
                 break
         return rows
 
     def explain(self) -> str:
-        """A human-readable description of the operator pipeline."""
-        lines = [f"{i + 1}. {op.explain()}" for i, op in enumerate(self.ops)]
+        """A human-readable description of the operator pipeline.
+
+        Annotated plans (after
+        :func:`repro.struql.optimizer.cost.annotate_plan`) additionally
+        show the chosen access path and the estimated cardinality after
+        each operator; un-annotated plans print structure only, exactly
+        as before.
+        """
+        lines = [f"{i + 1}. {op.explain_annotated()}"
+                 for i, op in enumerate(self.ops)]
         return "\n".join(lines) if lines else "(empty plan)"
 
     def __len__(self) -> int:

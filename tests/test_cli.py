@@ -353,3 +353,112 @@ class TestServeCommandErrors:
                      "--query", str(workspace / "site.struql")])
         assert code == 2
         assert "--templates" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_plan_only_text(self, workspace, capsys):
+        code = main(["explain",
+                     "--query", str(workspace / "site.struql"),
+                     "--data", str(workspace / "pubs.ddl")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fingerprint=" in printed
+        assert "optimizer=cost" in printed
+        assert "est~" in printed
+        assert "via " in printed
+        assert "decisions:" in printed
+        # Plan-only must not execute: no actual row counts reported.
+        assert "actual=" not in printed
+
+    def test_analyze_text(self, workspace, capsys):
+        code = main(["explain", "--analyze",
+                     "--query", str(workspace / "site.struql"),
+                     "--data", str(workspace / "pubs.ddl")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "actual=" in printed and "ms" in printed
+
+    def test_analyze_json_document(self, workspace, capsys):
+        code = main(["explain", "--analyze", "--json",
+                     "--query", str(workspace / "site.struql"),
+                     "--data", str(workspace / "pubs.ddl")])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["analyze"] is True
+        assert document["fingerprint"]
+        assert document["optimizer"] == "cost"
+        assert document["blocks"]
+        block = document["blocks"][0]
+        assert {"label", "plan", "estimated_rows", "decisions"} <= set(block)
+        assert "ops" in block and "actual_rows" in block
+        assert "summary" in document and "misestimates" in document
+
+    def test_plan_only_json(self, workspace, capsys):
+        code = main(["explain", "--json",
+                     "--query", str(workspace / "site.struql"),
+                     "--data", str(workspace / "pubs.ddl")])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["analyze"] is False
+        assert all("ops" not in b for b in document["blocks"])
+
+    def test_optimizer_choice(self, workspace, capsys):
+        code = main(["explain", "--optimizer", "heuristic",
+                     "--query", str(workspace / "site.struql"),
+                     "--data", str(workspace / "pubs.ddl")])
+        assert code == 0
+        assert "optimizer=heuristic" in capsys.readouterr().out
+
+    def test_analyze_rejects_params(self, tmp_path, capsys, monkeypatch):
+        # Parametrized queries only arise programmatically (form
+        # inputs), so stub the reader to return one.
+        import repro.cli as cli
+        from repro.struql import parse_query
+
+        query = parse_query("""
+            input G
+            where Root(x), x = root
+            collect Out(x)
+            output O
+        """, params=("root",))
+        monkeypatch.setattr(cli, "_read_query", lambda path: query)
+        code = main(["explain", "--analyze", "--query", "ignored"])
+        assert code == 2
+        assert "--analyze" in capsys.readouterr().err
+
+
+def _trailing_json(text: str) -> dict:
+    """Parse the JSON document printed after wrapped-command output."""
+    start = text.index("\n{\n")
+    return json.loads(text[start:])
+
+
+class TestTraceJsonAndProfile:
+    def test_trace_profile_prints_hotspots_only(self, workspace, capsys):
+        code = main(["trace", "--profile", "check",
+                     "--query", str(workspace / "site.struql")])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "hotspots" in printed
+        assert "== trace" not in printed
+        assert "== metrics" not in printed
+
+    def test_trace_json_document(self, workspace, capsys):
+        code = main(["trace", "--json", "build",
+                     "--data", str(workspace / "pubs.ddl"),
+                     "--query", str(workspace / "site.struql")])
+        assert code == 0
+        document = _trailing_json(capsys.readouterr().out)
+        assert {"profile", "metrics", "events"} <= set(document)
+        assert any(entry["name"] == "struql.query"
+                   for entry in document["profile"])
+        entry = document["profile"][0]
+        assert {"name", "calls", "self_seconds", "cum_seconds",
+                "mean_seconds"} <= set(entry)
+
+    def test_trace_json_profile_narrows(self, workspace, capsys):
+        code = main(["trace", "--json", "--profile", "check",
+                     "--query", str(workspace / "site.struql")])
+        assert code == 0
+        document = _trailing_json(capsys.readouterr().out)
+        assert set(document) == {"profile"}

@@ -426,3 +426,59 @@ class TestServeCLI:
         assert (snap / "snapshot.json").is_file()
         doc = json.loads((snap / "snapshot.json").read_text())
         assert doc["server"]["requests"] >= 1
+
+
+class TestDebugQueries:
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        from repro.obs.queries import (
+            QueryStatsRegistry,
+            get_query_registry,
+            set_query_registry,
+        )
+        previous = get_query_registry()
+        set_query_registry(QueryStatsRegistry())
+        yield
+        set_query_registry(previous)
+
+    def test_debug_queries_snapshot(self, plane):
+        from repro.obs.queries import fingerprint
+
+        # Warming the mounted site computed its root pages, and each
+        # click-time compute is observed under the site query's
+        # fingerprint.
+        status, headers, text = _get(plane.url + "/debug/queries")
+        assert status == 200
+        snapshot = json.loads(text)
+        assert {"fingerprints", "observed", "evicted", "max_fingerprints",
+                "slow_seconds", "queries"} <= set(snapshot)
+        assert snapshot["fingerprints"] >= 1
+        fps = {entry["fingerprint"] for entry in snapshot["queries"]}
+        assert fingerprint(FIG3_QUERY) in fps
+        entry = snapshot["queries"][0]
+        assert {"fingerprint", "text", "count", "p50_s", "p95_s",
+                "last_plan"} <= set(entry)
+        assert entry["p50_s"] > 0
+
+    def test_debug_queries_limit_param(self, plane):
+        from repro.obs.queries import get_query_registry
+        for i in range(3):
+            get_query_registry().observe(f"where C{i}(x)", seconds=0.001)
+        _, _, text = _get(plane.url + "/debug/queries?limit=2")
+        snapshot = json.loads(text)
+        assert len(snapshot["queries"]) == 2
+        assert snapshot["fingerprints"] >= 3  # population unaffected
+
+    def test_debug_endpoints_json_content_type(self, plane):
+        for path in ("/debug/traces", "/debug/events", "/debug/profile",
+                     "/debug/queries"):
+            _, headers, _ = _get(plane.url + path)
+            assert headers["Content-Type"] == \
+                "application/json; charset=utf-8", path
+
+    def test_snapshot_document_includes_queries(self, plane, tmp_path):
+        paths = plane.write_snapshot(str(tmp_path / "snap"))
+        document = json.loads(
+            open(paths["snapshot"], encoding="utf-8").read())
+        assert "queries" in document
+        assert document["queries"]["fingerprints"] >= 1

@@ -182,3 +182,73 @@ class TestLiveEndpoints:
         site.generate(str(out))
         assert "Live endpoints" not in \
             (out / "Dashboard__.html").read_text()
+
+
+class TestQueriesPage:
+    @pytest.fixture
+    def registry(self):
+        from repro.obs.queries import QueryStatsRegistry
+        reg = QueryStatsRegistry()
+        reg.observe('where Big(x), x = "a"', seconds=0.002, rows=5,
+                    plan="member/filter", optimizer="cost")
+        reg.observe('where Small(y)', seconds=0.050, rows=2,
+                    plan="member", optimizer="heuristic", misestimates=1)
+        return reg
+
+    def test_query_nodes_in_graph(self, registry):
+        from repro.graph import Atom
+
+        graph = telemetry_graph(obs.TraceRecorder(), queries=registry)
+        assert graph.has_collection("Queries")
+        rows = graph.collection("Queries")
+        assert len(rows) == 2
+        # Worst p95 ranks first.
+        first = next(r for r in rows
+                     if graph.get(r, "rank") == [Atom.int(1)])
+        assert graph.get(first, "text") == [Atom.string("where Small(y)")]
+        assert graph.get(first, "misestimates") == [Atom.int(1)]
+        summary = graph.collection("Summary")[0]
+        assert graph.get(summary, "queries") == [Atom.int(2)]
+
+    def test_accepts_snapshot_dict(self, registry):
+        graph = telemetry_graph(obs.TraceRecorder(),
+                                queries=registry.snapshot())
+        assert len(graph.collection("Queries")) == 2
+
+    def test_defaults_to_global_registry(self):
+        from repro.obs.queries import (
+            QueryStatsRegistry,
+            get_query_registry,
+            set_query_registry,
+        )
+        previous = get_query_registry()
+        try:
+            set_query_registry(QueryStatsRegistry())
+            get_query_registry().observe("where C(x)", seconds=0.001)
+            graph = telemetry_graph(obs.TraceRecorder())
+            assert len(graph.collection("Queries")) == 1
+        finally:
+            set_query_registry(previous)
+
+    def test_queries_page_rendered(self, registry, tmp_path):
+        site = build_monitor_site(obs.TraceRecorder(), queries=registry)
+        out = tmp_path / "dash"
+        out.mkdir()
+        site.generate(str(out))
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "QueriesPage__.html" in dashboard
+        page = (out / "QueriesPage__.html").read_text()
+        assert "Query registry" in page
+        assert "where Small(y)" in page
+        assert "cost" in page and "heuristic" in page
+
+    def test_empty_registry_renders_placeholder(self, tmp_path):
+        from repro.obs.queries import QueryStatsRegistry
+
+        site = build_monitor_site(obs.TraceRecorder(),
+                                  queries=QueryStatsRegistry())
+        out = tmp_path / "dash"
+        out.mkdir()
+        site.generate(str(out))
+        page = (out / "QueriesPage__.html").read_text()
+        assert "No queries observed" in page

@@ -1,6 +1,8 @@
 """Optimizers: ordering validity, equivalence, and that plans exploit
 bound variables and statistics sensibly."""
 
+import math
+
 import pytest
 
 from repro.graph import Atom, Graph, Oid
@@ -16,7 +18,14 @@ from repro.struql.ast import (
 )
 from repro.struql.optimizer import get_optimizer
 from repro.struql.optimizer.base import executable
-from repro.struql.optimizer.cost import estimate_condition
+from repro.struql.optimizer.cost import (
+    access_path_for,
+    annotate_plan,
+    candidate_access_paths,
+    estimate_condition,
+    estimate_path_fanout,
+    trace_decisions,
+)
 
 
 @pytest.fixture
@@ -172,3 +181,121 @@ class TestCostModel:
                                   GraphStatistics.gather(skewed_graph))
         assert len(ordered) == len(conditions)
         assert ordered[0].name == "Big"
+
+
+class TestFanoutEdgeCases:
+    """estimate_path_fanout on degenerate shapes and empty stats."""
+
+    def path_of(self, text: str):
+        (cond,) = conditions_of(f"x -> {text} -> y")
+        return cond.path
+
+    def fanouts(self, stats):
+        shapes = ['"v"', '("v" | "big")', '("v" . "big")', "*",
+                  '("v" | "big")*', '("v"* . "big")',
+                  '("v" | "big" | "v"*)']
+        return [estimate_path_fanout(self.path_of(s), stats)
+                for s in shapes]
+
+    def test_finite_nonnegative_on_real_stats(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        for fan in self.fanouts(stats):
+            assert math.isfinite(fan)
+            assert fan > 0
+
+    def test_finite_nonnegative_on_empty_graph(self):
+        stats = GraphStatistics.gather(Graph("EMPTY"))
+        for fan in self.fanouts(stats):
+            assert math.isfinite(fan)
+            assert fan > 0
+
+    def test_alternation_sums_but_caps(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        a = estimate_path_fanout(self.path_of('"v"'), stats)
+        b = estimate_path_fanout(self.path_of('"big"'), stats)
+        alt = estimate_path_fanout(self.path_of('("v" | "big")'), stats)
+        cap = stats.node_count + stats.atom_count
+        assert alt == pytest.approx(min(a + b, cap))
+        wide = "(" + " | ".join(["*"] * 50) + ")"
+        assert estimate_path_fanout(self.path_of(wide), stats) <= cap
+
+    def test_star_bounded_by_domain(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        fan = estimate_path_fanout(self.path_of("*"), stats)
+        assert 1.0 <= fan <= stats.node_count + stats.atom_count
+
+    def test_concat_of_stars_capped(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        fan = estimate_path_fanout(self.path_of('("v"* . "big"*)'), stats)
+        assert math.isfinite(fan)
+        assert fan <= stats.node_count + stats.atom_count
+
+    def test_estimate_condition_on_empty_stats(self):
+        stats = GraphStatistics.gather(Graph("EMPTY"))
+        for text in ("Big(x)", 'x -> "v" -> y', "x -> * -> y",
+                     "a = 3", "a != 3", "not(p -> l -> q)"):
+            (cond,) = conditions_of(text)
+            for bound in (set(), {"x", "a", "p"}):
+                mult, weight = estimate_condition(cond, bound, stats)
+                assert math.isfinite(mult) and mult >= 0
+                assert math.isfinite(weight) and weight >= 0
+
+
+class TestAccessPaths:
+    def test_candidates_cover_condition_types(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        cases = {
+            "Big(x)": "collection-scan",
+            'x -> "v" -> y': "attribute-extent-scan",
+            "a = 3": "equality-bind",
+        }
+        for text, expected in cases.items():
+            (cond,) = conditions_of(text)
+            arms = candidate_access_paths(cond, set(), stats,
+                                          graph=skewed_graph)
+            assert arms, text
+            chosen = [a for a in arms if a["chosen"]]
+            assert len(chosen) == 1
+            assert chosen[0]["applicable"]
+            assert chosen[0]["access_path"] == expected
+            for arm in arms:
+                assert math.isfinite(arm["est_cost"])
+
+    def test_bound_edge_uses_index(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        (cond,) = conditions_of('x -> "v" -> y')
+        path = access_path_for(cond, {"x"}, stats, graph=skewed_graph)
+        assert path == "forward-index"
+
+    def test_annotate_plan_sets_estimates(self, skewed_graph):
+        from repro.struql.plan import Plan
+
+        stats = GraphStatistics.gather(skewed_graph)
+        conditions = conditions_of('Big(x), x -> "v" -> w, w = 3')
+        optimizer = get_optimizer("cost")
+        ordered = optimizer.order(conditions, set(), skewed_graph,
+                                  default_registry(), stats)
+        plan = Plan.from_conditions(ordered)
+        final = annotate_plan(plan.ops, set(), stats, graph=skewed_graph)
+        assert math.isfinite(final) and final >= 0
+        for op in plan.ops:
+            assert op.est_rows is not None and op.est_rows >= 0
+            assert op.access_path
+        # Annotated explain carries the access path and the estimate.
+        assert "via " in plan.explain()
+
+    def test_trace_decisions_replays_order(self, skewed_graph):
+        stats = GraphStatistics.gather(skewed_graph)
+        conditions = conditions_of('Big(x), x -> "v" -> w, w = 3')
+        optimizer = get_optimizer("cost")
+        registry = default_registry()
+        ordered = optimizer.order(conditions, set(), skewed_graph,
+                                  registry, stats)
+        decisions = trace_decisions(ordered, set(), stats, skewed_graph,
+                                    registry, optimizer=optimizer)
+        assert len(decisions) == len(ordered)
+        for step, decision in enumerate(decisions, start=1):
+            assert decision.step == step
+            assert any(c["chosen"] for c in decision.candidates)
+            doc = decision.to_dict()
+            assert {"step", "chosen", "est_rows", "candidates"} <= set(doc)
