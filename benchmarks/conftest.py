@@ -32,6 +32,8 @@ CORE_SPAN_METRICS = {
     "struql_eval_p50_s": "struql.query",
     "struql_opt_p50_s": "struql.optimize",
     "full_build_p50_s": "site.build",
+    "site_build_p50_s": "site.build_cold",
+    "site_rebuild_p50_s": "site.build_warm",
 }
 
 #: Stable metric name -> the histogram whose p50 defines it.

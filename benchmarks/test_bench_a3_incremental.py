@@ -74,7 +74,7 @@ def test_browsing_session(benchmark, experiment, cache):
                    pages=f"{server.graph.materialized_count}/{total} computed",
                    note=f"{server.site.stats['unit_evaluations']} unit "
                         f"evaluations, "
-                        f"{server.site.stats['cache_hits']} cache hits")
+                        f"{server.site.stats['page_cache_hits']} page hits")
 
 
 def test_staleness_tradeoff(experiment, benchmark):

@@ -1,0 +1,110 @@
+"""Experiment A9 (extension): parallel + content-hash-cached builds.
+
+PR 7's build pipeline has two levers: render pages on N threads
+(``--jobs``) and skip pages the persistent build cache proves
+unchanged (``--cache-dir``/``--incremental``).  This benchmark measures
+both on the CNN example site and feeds the committed regression file:
+``site_build_p50_s`` is the cold-build p50 (span ``site.build_cold``)
+and ``site_rebuild_p50_s`` the warm no-op rebuild p50 (span
+``site.build_warm``), which must render zero pages.
+"""
+
+import shutil
+
+from repro import obs
+from repro.sites.cnn import build_cnn_site
+
+EXPERIMENT = "A9 (extension): parallel + cached builds"
+
+ARTICLES = 120
+
+
+def _website():
+    site = build_cnn_site(articles=ARTICLES)
+    site.build()  # force query evaluation outside the timed region
+    return site
+
+
+def test_cold_vs_warm_rebuild(benchmark, experiment, tmp_path):
+    """A warm rebuild of an unchanged site renders nothing — the cache
+    turns a full render into a fingerprint check."""
+    out, cache = str(tmp_path / "out"), str(tmp_path / "cache")
+    website = _website()
+
+    with obs.timed("site.build_cold"):
+        cold = website.build_site(out, cache_dir=cache)
+    assert cold.pages_rendered > 0
+
+    def warm_rebuild():
+        rebuilt = _website()  # query evaluation is not build time
+        with obs.timed("site.build_warm"):
+            return rebuilt.build_site(out, cache_dir=cache)
+
+    warm = benchmark(warm_rebuild)
+    assert warm.pages_rendered == 0, warm.summary()
+    assert warm.cache_hit_ratio == 1.0
+    speedup = cold.seconds / warm.seconds if warm.seconds else float("inf")
+    experiment.row(mode="cold build", pages=cold.pages_rendered,
+                   seconds=f"{cold.seconds:.3f}")
+    experiment.row(mode="warm rebuild (unchanged)",
+                   pages=warm.pages_rendered,
+                   seconds=f"{warm.seconds:.3f}",
+                   note=f"{speedup:.1f}x faster than cold")
+
+
+def test_incremental_after_data_change(experiment, tmp_path):
+    """After editing one publication, the planner re-renders a small
+    fraction of the site.  (The bibliography site, not CNN: CNN's
+    ``Related`` links connect most pages, so a single article edit
+    legitimately dirties the whole site.)"""
+    from repro.datagen import generate_bibtex
+    from repro.graph import Atom, Oid
+    from repro.site.builder import Website
+    from repro.sites.homepage import FIG3_QUERY, fig7_templates
+    from repro.wrappers import BibTexWrapper
+
+    out, cache = str(tmp_path / "out"), str(tmp_path / "cache")
+    data = BibTexWrapper().wrap(generate_bibtex(240, seed=6), "BIBTEX")
+    cold = Website(data, FIG3_QUERY, fig7_templates()).build_site(
+        out, cache_dir=cache)
+
+    pub = next(o for o in data.collection("Publications")
+               if isinstance(o, Oid))
+    data.add_edge(pub, "note", Atom.string("errata"))
+    with obs.timed("site.build_warm"):
+        report = Website(data, FIG3_QUERY, fig7_templates()).build_site(
+            out, cache_dir=cache)
+    assert 0 < report.pages_rendered < cold.pages_rendered
+    experiment.row(mode="1 publication edited",
+                   pages=f"{report.pages_rendered}/{cold.pages_rendered}",
+                   note=f"{report.cache_hit_ratio:.0%} served from cache")
+
+
+def test_parallel_jobs_scaling(benchmark, experiment, tmp_path):
+    """--jobs N renders pages on N threads with byte-identical output.
+
+    Speedup needs real cores; on a single-CPU runner the assertion is
+    only that parallel output matches serial output exactly.
+    """
+    website = _website()
+    serial_dir, parallel_dir = str(tmp_path / "s"), str(tmp_path / "p")
+
+    with obs.timed("site.build_cold"):
+        serial = website.build_site(serial_dir, jobs=1)
+
+    def parallel_build():
+        shutil.rmtree(parallel_dir, ignore_errors=True)
+        with obs.timed("site.build_cold"):
+            return _website().build_site(parallel_dir, jobs=4)
+
+    parallel = benchmark(parallel_build)
+    assert parallel.pages_rendered == serial.pages_rendered
+    assert sorted(str(p) for p in parallel.written) == \
+        sorted(str(p) for p in serial.written)
+    experiment.row(mode="serial (jobs=1)", pages=serial.pages_rendered,
+                   seconds=f"{serial.seconds:.3f}")
+    experiment.row(mode="parallel (jobs=4)",
+                   pages=parallel.pages_rendered,
+                   seconds=f"{parallel.seconds:.3f}",
+                   note=f"{serial.seconds / parallel.seconds:.2f}x "
+                        f"vs serial")

@@ -172,12 +172,25 @@ def cmd_build(args: argparse.Namespace) -> int:
             handle.write(graph_to_dot(site, max_nodes=200))
         print(f"site graph (dot) saved to {args.site_dot}")
     if args.templates:
+        from repro.site.buildcache import (
+            BuildCache,
+            DEFAULT_CACHE_DIRNAME,
+            cached_generate,
+            resolve_jobs,
+        )
         from repro.templates.generator import HtmlGenerator
         templates = load_templates(args.templates)
         generator = HtmlGenerator(site, templates)
-        os.makedirs(args.out, exist_ok=True)
-        written = generator.generate_site(args.out)
-        print(f"wrote {len(written)} pages to {args.out}")
+        jobs = resolve_jobs(args.jobs)
+        cache = None
+        if args.cache_dir or args.incremental:
+            cache_dir = args.cache_dir or os.path.join(
+                args.out, DEFAULT_CACHE_DIRNAME)
+            cache = BuildCache(cache_dir)
+        report = cached_generate(
+            site, generator, templates, args.out, cache=cache,
+            jobs=jobs, options={"optimizer": args.optimizer})
+        print(f"{report.summary()} to {args.out}")
     return 0
 
 
@@ -487,6 +500,15 @@ def make_parser() -> argparse.ArgumentParser:
                        help="output directory for HTML")
     build.add_argument("--optimizer", default="cost",
                        choices=("naive", "heuristic", "cost"))
+    build.add_argument("--jobs", type=int, default=None,
+                       help="parallel page-render threads "
+                            "(default: one per CPU core)")
+    build.add_argument("--cache-dir",
+                       help="persistent build-cache directory: "
+                            "unchanged pages are skipped on rebuilds")
+    build.add_argument("--incremental", action="store_true",
+                       help="shorthand for --cache-dir OUT/"
+                            ".buildcache")
     build.add_argument("--verify-root",
                        help="check all pages reachable from this "
                             "Skolem function")

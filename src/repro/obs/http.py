@@ -212,14 +212,20 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         }
         write_prometheus(self.recorder.metrics, paths["metrics"])
         self.recorder.events.write_jsonl(paths["events"])
+        site = self.site_server
+        cache_snapshot = getattr(site, "cache_snapshot", None)
         document = {
             "uptime_seconds": time.time() - self.started,
             "profile": self._profile_payload(limit=None),
             "traces": self._traces_payload(DEBUG_TRACE_DEPTH),
             "queries": get_query_registry().snapshot(
                 limit=DEBUG_QUERY_LIMIT),
-            "server": (self.site_server.log.snapshot()
-                       if self.site_server is not None else None),
+            "server": (site.log.snapshot() if site is not None
+                       else None),
+            # Click-time cache counters, split page/bindings so the
+            # hit/miss totals reconcile with pages_computed.
+            "site_cache": (cache_snapshot()
+                           if callable(cache_snapshot) else None),
         }
         with open(paths["snapshot"], "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)

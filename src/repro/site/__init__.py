@@ -1,6 +1,14 @@
 """Site layer: builder pipeline, site schemas, verification, dynamics."""
 
 from repro.site.builder import SiteMetrics, Website
+from repro.site.buildcache import (
+    BuildCache,
+    BuildPlan,
+    BuildReport,
+    cached_generate,
+    hash_templates,
+    page_fingerprint,
+)
 from repro.site.diff import RefreshResult, SiteDiff, diff_graphs, refresh_site
 from repro.site.forms import FormHandler, FormResponse, register_string_predicates
 from repro.site.incremental import DynamicSite, LazySiteGraph, PageView
@@ -20,6 +28,9 @@ from repro.site.verify import (
 )
 
 __all__ = [
+    "BuildCache",
+    "BuildPlan",
+    "BuildReport",
     "Connected",
     "Constraint",
     "DynamicSite",
@@ -46,7 +57,10 @@ __all__ = [
     "Verifier",
     "Website",
     "build_site_schema",
+    "cached_generate",
     "diff_graphs",
+    "hash_templates",
+    "page_fingerprint",
     "refresh_site",
     "register_string_predicates",
 ]

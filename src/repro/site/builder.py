@@ -21,6 +21,11 @@ from dataclasses import dataclass, field
 from repro.errors import SiteError
 from repro.graph.model import Graph, Oid
 from repro.obs.trace import get_recorder
+from repro.site.buildcache import (
+    BuildCache,
+    BuildReport,
+    cached_generate,
+)
 from repro.site.schema import SiteSchema, build_site_schema
 from repro.site.verify import Constraint, VerificationReport, Verifier
 from repro.struql.ast import Query
@@ -120,14 +125,36 @@ class Website:
                                             loader=self.loader)
         return self._generator
 
-    def generate(self, out_dir: str) -> dict[Oid, str]:
-        """Materialize the browsable site under ``out_dir``."""
-        recorder = get_recorder()
-        with recorder.span("site.generate", out_dir=out_dir) as span:
-            written = self.generator().generate_site(out_dir)
-            span.set(pages=len(written))
-        recorder.metrics.counter("site.pages_built").inc(len(written))
-        return written
+    def generate(self, out_dir: str, jobs: int = 1,
+                 cache_dir: str | None = None) -> dict[Oid, str]:
+        """Materialize the browsable site under ``out_dir``.
+
+        Returns the written ``{oid: path}`` mapping — with a cache
+        directory, only the pages that actually re-rendered.  See
+        :meth:`build_site` for the full report.
+        """
+        return self.build_site(out_dir, jobs=jobs,
+                               cache_dir=cache_dir).written
+
+    def build_site(self, out_dir: str, jobs: int = 1,
+                   cache_dir: str | None = None) -> BuildReport:
+        """The parallel, cache-aware build pipeline.
+
+        ``jobs`` renders pages on that many threads (``None``/0: one
+        per core); ``cache_dir`` enables the persistent build cache —
+        unchanged pages are skipped, pages that left the site have
+        their files deleted, and a rebuild of an unchanged site renders
+        nothing at all.
+        """
+        cache = BuildCache(cache_dir) if cache_dir else None
+        return cached_generate(
+            self.site_graph, self.generator(), self.templates, out_dir,
+            cache=cache, jobs=jobs, options=self._build_options())
+
+    def _build_options(self) -> dict:
+        """The generator options that key the build cache."""
+        return {"loader": type(self.loader).__name__
+                if self.loader is not None else None}
 
     def verify(self, constraints: list[Constraint],
                schema_level: bool = True,

@@ -22,7 +22,9 @@ query processor" lives in the wrapper's materialized-page set.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import PageNotFoundError
@@ -39,6 +41,13 @@ from repro.struql.rewriter import ConjunctiveUnit, flatten
 from repro.struql.skolem import SkolemRegistry
 
 
+#: Default LRU bound for the click-time page and bindings caches: a
+#: long-running ``repro serve`` must not grow memory with the number of
+#: distinct pages ever visited (same discipline as
+#: :class:`~repro.obs.queries.QueryStatsRegistry`).
+DEFAULT_MAX_PAGES = 4096
+
+
 @dataclass
 class PageView:
     """One dynamically computed page: its outgoing edges and
@@ -50,11 +59,22 @@ class PageView:
 
 
 class DynamicSite:
-    """Serves site pages computed at click time from the data graph."""
+    """Serves site pages computed at click time from the data graph.
+
+    Thread-safe: the page cache, the bindings cache and :attr:`stats`
+    are guarded by one reentrant :attr:`lock`, and
+    :meth:`invalidate` is atomic with respect to in-flight
+    :meth:`get_page` calls — the threaded HTTP plane
+    (:class:`~repro.obs.http.TelemetryHTTPServer`) serves click-time
+    pages from many handler threads at once.  Both caches are LRU
+    rings capped at ``max_pages`` entries (``site.page_cache_evictions``
+    / ``site.bindings_cache_evictions`` count what falls out).
+    """
 
     def __init__(self, query: Query | str, data: Graph,
                  engine: QueryEngine | None = None,
-                 cache: bool = True) -> None:
+                 cache: bool = True,
+                 max_pages: int = DEFAULT_MAX_PAGES) -> None:
         if isinstance(query, str):
             query = parse_query(query)
         self.query = query
@@ -63,12 +83,29 @@ class DynamicSite:
         self.units = flatten(query)
         self.skolem = SkolemRegistry()
         self._cache_enabled = cache
-        self._page_cache: dict[Oid, PageView] = {}
-        self._bindings_cache: dict[tuple[int, tuple], list[Binding]] = {}
+        self.max_pages = max(int(max_pages), 1)
+        self._page_cache: "OrderedDict[Oid, PageView]" = OrderedDict()
+        self._bindings_cache: "OrderedDict[tuple, list[Binding]]" = \
+            OrderedDict()
         self._index = None
-        #: Click-time statistics for benchmarking.
-        self.stats = {"pages_computed": 0, "cache_hits": 0,
-                      "unit_evaluations": 0}
+        #: Guards the caches, the index and ``stats``; reentrant so
+        #: ``get_page`` -> ``_unit_rows`` nests, and exposed so
+        #: :class:`LazySiteGraph` can serialize materialization with
+        #: cache invalidation.
+        self.lock = threading.RLock()
+        #: Click-time statistics for benchmarking.  Hit/miss totals
+        #: reconcile by construction: ``page_cache_hits +
+        #: page_cache_misses`` equals ``get_page`` calls and
+        #: ``pages_computed == page_cache_misses``; the bindings-cache
+        #: counters tally the inner per-unit query cache separately
+        #: (they used to be folded into one ``cache_hits`` number,
+        #: which double-counted bindings hits inside page misses).
+        self.stats = {"pages_computed": 0, "unit_evaluations": 0,
+                      "page_cache_hits": 0, "page_cache_misses": 0,
+                      "page_cache_evictions": 0,
+                      "bindings_cache_hits": 0,
+                      "bindings_cache_misses": 0,
+                      "bindings_cache_evictions": 0}
 
     # -- roots -----------------------------------------------------------------
 
@@ -84,37 +121,68 @@ class DynamicSite:
     # -- page computation ------------------------------------------------------------
 
     def get_page(self, oid: Oid) -> PageView:
-        """Compute (or fetch from cache) one page's view."""
+        """Compute (or fetch from cache) one page's view.
+
+        Holds :attr:`lock` across lookup *and* compute, so a concurrent
+        :meth:`invalidate` never interleaves with a half-done compute
+        (a page computed from pre-update data can otherwise be cached
+        after the post-update flush).
+        """
         recorder = get_recorder()
-        if self._cache_enabled and oid in self._page_cache:
-            self.stats["cache_hits"] += 1
-            recorder.metrics.counter("site.page_cache_hits").inc()
-            return self._page_cache[oid]
-        if oid.skolem_fn is None:
-            raise PageNotFoundError(oid)
-        started = time.perf_counter()
-        with recorder.span("site.compute_page", page=str(oid)) as span:
-            view = self._compute(oid)
-            span.set(edges=len(view.edges))
+        with self.lock:
+            if self._cache_enabled and oid in self._page_cache:
+                self.stats["page_cache_hits"] += 1
+                self._page_cache.move_to_end(oid)
+                recorder.metrics.counter("site.page_cache_hits").inc()
+                return self._page_cache[oid]
+            if oid.skolem_fn is None:
+                raise PageNotFoundError(oid)
+            started = time.perf_counter()
+            with recorder.span("site.compute_page",
+                               page=str(oid)) as span:
+                view = self._compute(oid)
+                span.set(edges=len(view.edges))
+            seconds = time.perf_counter() - started
+            if self._cache_enabled:
+                self._page_cache[oid] = view
+                while len(self._page_cache) > self.max_pages:
+                    self._page_cache.popitem(last=False)
+                    self.stats["page_cache_evictions"] += 1
+                    recorder.metrics.counter(
+                        "site.page_cache_evictions").inc()
+            self.stats["pages_computed"] += 1
+            self.stats["page_cache_misses"] += 1
         # Click-time computes are partial evaluations of the one site
         # query, so they aggregate under its fingerprint: the registry's
         # p50/p95 become the site's live page-compute latency.
         get_query_registry().observe(
-            self.query, seconds=time.perf_counter() - started,
+            self.query, seconds=seconds,
             rows=len(view.edges),
             optimizer=getattr(self.engine.optimizer, "name",
                               str(self.engine.optimizer)))
-        if self._cache_enabled:
-            self._page_cache[oid] = view
-        self.stats["pages_computed"] += 1
         recorder.metrics.counter("site.page_cache_misses").inc()
         return view
 
     def invalidate(self) -> None:
-        """Drop all cached results (after a data-graph update)."""
-        self._page_cache.clear()
-        self._bindings_cache.clear()
-        self._index = None
+        """Drop all cached results (after a data-graph update).
+
+        Atomic with in-flight :meth:`get_page` calls: waits for any
+        compute holding :attr:`lock`, then flushes everything at once.
+        """
+        with self.lock:
+            self._page_cache.clear()
+            self._bindings_cache.clear()
+            self._index = None
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of :attr:`stats` plus cache occupancy."""
+        with self.lock:
+            snapshot = dict(self.stats)
+            snapshot["page_cache_size"] = len(self._page_cache)
+            snapshot["bindings_cache_size"] = len(self._bindings_cache)
+            snapshot["max_pages"] = self.max_pages
+            snapshot["cache_enabled"] = self._cache_enabled
+        return snapshot
 
     # -- internals ---------------------------------------------------------------
 
@@ -175,11 +243,14 @@ class DynamicSite:
         key = (id(unit), tuple(sorted(seed.items(),
                                       key=lambda kv: kv[0])),
                tuple(str(v) for _, v in sorted(seed.items())))
-        if self._cache_enabled and key in self._bindings_cache:
-            self.stats["cache_hits"] += 1
-            get_recorder().metrics.counter(
-                "site.bindings_cache_hits").inc()
-            return self._bindings_cache[key]
+        with self.lock:
+            if self._cache_enabled and key in self._bindings_cache:
+                self.stats["bindings_cache_hits"] += 1
+                self._bindings_cache.move_to_end(key)
+                get_recorder().metrics.counter(
+                    "site.bindings_cache_hits").inc()
+                return self._bindings_cache[key]
+            self.stats["bindings_cache_misses"] += 1
         if self._index is None or not self._index.fresh:
             from repro.repository.indexes import GraphIndex
             self._index = GraphIndex.build(self.data)
@@ -207,10 +278,16 @@ class DynamicSite:
             rows = [row for row in rows
                     if all(name in row and runtime_eq(row[name], value)
                            for name, value in post_filter.items())]
-        self.stats["unit_evaluations"] += 1
+        with self.lock:
+            self.stats["unit_evaluations"] += 1
+            if self._cache_enabled:
+                self._bindings_cache[key] = rows
+                while len(self._bindings_cache) > self.max_pages:
+                    self._bindings_cache.popitem(last=False)
+                    self.stats["bindings_cache_evictions"] += 1
+                    get_recorder().metrics.counter(
+                        "site.bindings_cache_evictions").inc()
         get_recorder().metrics.counter("site.unit_evaluations").inc()
-        if self._cache_enabled:
-            self._bindings_cache[key] = rows
         return rows
 
     def _resolve(self, term, row: Binding) -> RuntimeValue | None:
@@ -248,16 +325,25 @@ class LazySiteGraph(Graph):
             self.add_node(root)
 
     def ensure(self, oid: Oid) -> None:
-        """Materialize ``oid``'s page if it is dynamic and not yet done."""
-        if oid in self._materialized or oid.skolem_fn is None:
+        """Materialize ``oid``'s page if it is dynamic and not yet done.
+
+        Serialized on the site's lock: concurrent handler threads must
+        not interleave graph mutation (or materialize the same page
+        twice), and materialization must not overlap an
+        :meth:`DynamicSite.invalidate` flush.
+        """
+        if oid.skolem_fn is None:
             return
-        self._materialized.add(oid)
-        view = self._site.get_page(oid)
-        self.add_node(oid)
-        for label, target in view.edges:
-            self.add_edge(oid, label, target)
-        for name in view.collections:
-            self.add_to_collection(name, oid)
+        with self._site.lock:
+            if oid in self._materialized:
+                return
+            self._materialized.add(oid)
+            view = self._site.get_page(oid)
+            self.add_node(oid)
+            for label, target in view.edges:
+                self.add_edge(oid, label, target)
+            for name in view.collections:
+                self.add_to_collection(name, oid)
 
     # -- read paths used by the HTML generator ------------------------------------
 

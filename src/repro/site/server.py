@@ -241,14 +241,18 @@ class DynamicSiteServer:
         instead of a linear scan over every page per request.
         """
         wanted = path.lstrip("/")
-        if self._url_map is None or \
-                self._url_map_size != self.graph.node_count:
-            url_map: dict[str, Oid] = {}
-            for node in list(self.graph.nodes()):
-                url_map.setdefault(self.generator.url_for(node), node)
-            self._url_map = url_map
-            self._url_map_size = self.graph.node_count
-        return self._url_map.get(wanted)
+        # Rebuild under the site lock: concurrent handler threads must
+        # not iterate the lazy graph while another one materializes.
+        with self.site.lock:
+            if self._url_map is None or \
+                    self._url_map_size != self.graph.node_count:
+                url_map: dict[str, Oid] = {}
+                for node in list(self.graph.nodes()):
+                    url_map.setdefault(self.generator.url_for(node),
+                                       node)
+                self._url_map = url_map
+                self._url_map_size = self.graph.node_count
+            return self._url_map.get(wanted)
 
     def warm(self) -> int:
         """Compute the site query and materialize every root page.
@@ -349,12 +353,25 @@ class DynamicSiteServer:
                     queue.append(target)
         return out
 
+    def cache_snapshot(self) -> dict:
+        """The click-time cache statistics, reconciled.
+
+        One consistent read of :meth:`DynamicSite.stats_snapshot` —
+        page-cache and bindings-cache hit/miss/eviction counters stay
+        distinct so the totals add up (``page_cache_hits +
+        page_cache_misses`` equals page lookups; ``pages_computed ==
+        page_cache_misses``).
+        """
+        return self.site.stats_snapshot()
+
     def invalidate(self) -> None:
         """Propagate a data-graph update: drop caches and lazily rebuild."""
-        self.site.invalidate()
-        fresh = LazySiteGraph(self.site)
-        self.graph = fresh
-        self.generator = HtmlGenerator(fresh, self.generator.templates,
-                                       loader=self.generator.loader)
-        self._url_map = None
-        self._url_map_size = -1
+        with self.site.lock:
+            self.site.invalidate()
+            fresh = LazySiteGraph(self.site)
+            self.graph = fresh
+            self.generator = HtmlGenerator(
+                fresh, self.generator.templates,
+                loader=self.generator.loader)
+            self._url_map = None
+            self._url_map_size = -1

@@ -26,6 +26,8 @@ Two classes:
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import CoercionError, MissingTemplateError, TemplateEvalError
@@ -132,7 +134,16 @@ class HtmlGenerator:
         self.graph = graph
         self.templates = templates
         self.loader = loader
-        self._render_stack: list[Oid] = []
+        # Per-thread render stacks: parallel page rendering must not
+        # see another worker's embedding chain as a cycle.
+        self._local = threading.local()
+
+    @property
+    def _render_stack(self) -> list[Oid]:
+        stack = getattr(self._local, "render_stack", None)
+        if stack is None:
+            stack = self._local.render_stack = []
+        return stack
 
     # -- page bookkeeping ----------------------------------------------------------
 
@@ -183,21 +194,45 @@ class HtmlGenerator:
         finally:
             self._render_stack.pop()
 
-    def generate_site(self, out_dir: str) -> dict[Oid, str]:
+    def generate_site(self, out_dir: str, jobs: int = 1,
+                      pages: list[Oid] | None = None) -> dict[Oid, str]:
         """Write every page's HTML under ``out_dir``.
 
-        Returns the mapping from page oid to written file path.  The
-        result is the paper's "browsable Web site".
+        Returns the mapping from page oid to written file path, in
+        deterministic (sorted-by-oid) order regardless of parallelism.
+        The result is the paper's "browsable Web site".
+
+        ``jobs`` > 1 renders pages on a thread pool (render stacks are
+        per-thread, so embedding-cycle detection stays per page); pass
+        it only over a fully materialized graph — a
+        :class:`~repro.site.incremental.LazySiteGraph` materializes
+        pages on access and must not be mutated from several threads.
+        ``pages`` restricts the build to a subset (the build cache's
+        dirty set); by default every page renders.
         """
         os.makedirs(out_dir, exist_ok=True)
-        written: dict[Oid, str] = {}
-        with get_recorder().span("site.generate_site",
-                                 out_dir=out_dir) as span:
-            for page in self.pages():
-                path = os.path.join(out_dir, self.url_for(page))
+        targets = sorted(self.pages(), key=str) if pages is None \
+            else sorted(pages, key=str)
+
+        def emit(page: Oid) -> tuple[Oid, str]:
+            path = os.path.join(out_dir, self.url_for(page))
+            with get_recorder().span("site.build.page",
+                                     page=str(page)) as page_span:
+                html = self.render(page)
                 with open(path, "w", encoding="utf-8") as handle:
-                    handle.write(self.render(page))
-                written[page] = path
+                    handle.write(html)
+                page_span.set(bytes=len(html))
+            return page, path
+
+        with get_recorder().span("site.generate_site", out_dir=out_dir,
+                                 jobs=jobs) as span:
+            if jobs > 1 and len(targets) > 1:
+                with ThreadPoolExecutor(
+                        max_workers=jobs,
+                        thread_name_prefix="site-build") as pool:
+                    written = dict(pool.map(emit, targets))
+            else:
+                written = dict(emit(page) for page in targets)
             span.set(pages=len(written))
         return written
 

@@ -107,6 +107,44 @@ class TestCommands:
         assert (out_dir / "RootPage__.html").exists()
         assert (workspace / "site.json").exists()
 
+    def test_build_incremental_cache(self, workspace, capsys):
+        out_dir = workspace / "www"
+        argv = ["build",
+                "--data", str(workspace / "pubs.ddl"),
+                "--query", str(workspace / "site.struql"),
+                "--templates", str(workspace / "templates"),
+                "--out", str(out_dir),
+                "--cache-dir", str(workspace / "cache"),
+                "--jobs", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cold" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "wrote 0 pages" in second
+        # A template edit invalidates the whole cache.
+        (workspace / "templates" / "RootPage.tmpl").write_text(
+            "<h1>Pubs v2</h1><SFMTLIST @YearPage WRAP=UL>")
+        assert main(argv) == 0
+        third = capsys.readouterr().out
+        assert "templates-changed" in third
+        assert "v2" in (out_dir / "RootPage__.html").read_text()
+
+    def test_build_incremental_flag_defaults_cache_dir(self, workspace,
+                                                       capsys):
+        out_dir = workspace / "www"
+        argv = ["build",
+                "--data", str(workspace / "pubs.ddl"),
+                "--query", str(workspace / "site.struql"),
+                "--templates", str(workspace / "templates"),
+                "--out", str(out_dir),
+                "--incremental"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (out_dir / ".buildcache" / "manifest.json").exists()
+        assert main(argv) == 0
+        assert "wrote 0 pages" in capsys.readouterr().out
+
     def test_build_verify_failure_exit_code(self, workspace, capsys):
         code = main(["build",
                      "--data", str(workspace / "pubs.ddl"),

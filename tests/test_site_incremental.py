@@ -46,17 +46,35 @@ class TestDynamicSite:
         site = DynamicSite(FIG3_QUERY, fig2_graph, cache=True)
         page = Oid.skolem("RootPage", ())
         site.get_page(page)
-        before = site.stats["cache_hits"]
+        before = site.stats["page_cache_hits"]
         site.get_page(page)
-        assert site.stats["cache_hits"] == before + 1
+        assert site.stats["page_cache_hits"] == before + 1
 
     def test_cache_disabled(self, fig2_graph):
         site = DynamicSite(FIG3_QUERY, fig2_graph, cache=False)
         page = Oid.skolem("RootPage", ())
         site.get_page(page)
         site.get_page(page)
-        assert site.stats["cache_hits"] == 0
+        assert site.stats["page_cache_hits"] == 0
         assert site.stats["pages_computed"] == 2
+
+    def test_stats_reconcile(self, fig2_graph):
+        """Hits + misses == calls, and computes == misses — the old
+        folded ``cache_hits`` counter double-counted bindings hits."""
+        site = DynamicSite(FIG3_QUERY, fig2_graph, cache=True)
+        root = Oid.skolem("RootPage", ())
+        calls = 0
+        for _ in range(3):
+            view = site.get_page(root)
+            calls += 1
+            for _label, target in view.edges:
+                if isinstance(target, Oid) and target.skolem_fn:
+                    site.get_page(target)
+                    calls += 1
+        stats = site.stats_snapshot()
+        assert (stats["page_cache_hits"]
+                + stats["page_cache_misses"]) == calls
+        assert stats["pages_computed"] == stats["page_cache_misses"]
 
     def test_invalidate_sees_new_data(self, fig2_graph, dynamic):
         root = Oid.skolem("RootPage", ())
@@ -150,3 +168,73 @@ class TestDynamicAggregates:
                     for e in materialized.out_edges(card)}
         assert set(dynamic.get_page(card).edges) == expected
         assert ("of", Atom.int(2)) in expected  # 2 pubs in Fig 2
+
+
+class TestThreadSafety:
+    """PR 7 bugfix: ``DynamicSite`` is shared by server threads but its
+    caches and stats were unguarded — concurrent ``get_page`` calls and
+    ``invalidate()`` raced on plain dicts."""
+
+    def test_concurrent_get_page_with_invalidation(self, fig2_graph):
+        import threading
+
+        site = DynamicSite(FIG3_QUERY, fig2_graph, cache=True)
+        pages = [Oid.skolem("RootPage", ()),
+                 Oid.skolem("AbstractsPage", ()),
+                 Oid.skolem("YearPage", (Atom.int(1997),)),
+                 Oid.skolem("YearPage", (Atom.int(1998),))]
+        expected = {page: set(site.get_page(page).edges)
+                    for page in pages}
+        site.invalidate()
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer(page):
+            try:
+                while not stop.is_set():
+                    view = site.get_page(page)
+                    assert set(view.edges) == expected[page]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    site.invalidate()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(page,))
+                   for page in pages for _ in range(2)]
+        threads.append(threading.Thread(target=churn))
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        timer.cancel()
+        stop.set()
+        assert not errors, errors[0]
+        snapshot = site.stats_snapshot()
+        assert snapshot["pages_computed"] > 0
+        assert snapshot["pages_computed"] == snapshot["page_cache_misses"]
+
+    def test_lru_cap_bounds_cache(self, fig2_graph):
+        site = DynamicSite(FIG3_QUERY, fig2_graph, cache=True,
+                           max_pages=2)
+        pages = [Oid.skolem("YearPage", (Atom.int(1997),)),
+                 Oid.skolem("YearPage", (Atom.int(1998),)),
+                 Oid.skolem("RootPage", ()),
+                 Oid.skolem("AbstractsPage", ())]
+        for page in pages:
+            site.get_page(page)
+        snapshot = site.stats_snapshot()
+        assert snapshot["page_cache_size"] <= 2
+        assert snapshot["page_cache_evictions"] >= 2
+        assert snapshot["max_pages"] == 2
+        # The two most recent pages are still hits.
+        before = site.stats_snapshot()["page_cache_hits"]
+        site.get_page(pages[-1])
+        assert site.stats_snapshot()["page_cache_hits"] == before + 1
