@@ -6,13 +6,14 @@ summary prints them as tables at the end of the run, which is the
 console form of EXPERIMENTS.md.
 
 Every benchmark session also runs with the observability layer
-(:mod:`repro.obs`) enabled: each test body becomes a top-level span, so
-per-phase timings plus the pipeline's counters and latency histograms
-are written to ``BENCH_obs.json`` at the end of the run for
-cross-run comparison.  A second, much smaller ``BENCH_core.json`` is
+(:mod:`repro.obs`) enabled: each test body becomes a top-level span.
+``BENCH_obs.json`` gets per-span-name aggregates (count / total / p50 /
+p95 / max seconds) plus the metric registry and per-test phase timings
+— NOT the raw span forest, which for a benchmark session runs to tens
+of MB and has no business in git (CI enforces a 256 KB cap on committed
+``BENCH_*.json``).  A second, even smaller ``BENCH_core.json`` is
 written in a committed format — a handful of stable metric names with
-p50 seconds — so regression tracking across PRs diffs one tiny file
-instead of the full span forest.
+p50 seconds — so regression tracking across PRs diffs one tiny file.
 """
 
 from __future__ import annotations
@@ -34,6 +35,8 @@ CORE_SPAN_METRICS = {
     "full_build_p50_s": "site.build",
     "site_build_p50_s": "site.build_cold",
     "site_rebuild_p50_s": "site.build_warm",
+    "lineage_off_p50_s": "site.build_lineage_off",
+    "lineage_on_p50_s": "site.build_lineage_on",
 }
 
 #: Stable metric name -> the histogram whose p50 defines it.
@@ -60,7 +63,55 @@ def _core_document(recorder: obs.TraceRecorder) -> dict:
         metrics[metric] = summary.get("p50", 0.0)
         metrics[metric.replace("_p50_s", "_count")] = summary.get(
             "count", 0)
+    # A10: lineage recording overhead as a percentage.  Informational
+    # (only *_p50_s names gate regressions in ``repro bench compare``);
+    # the acceptance bar is <= 10%.
+    off = metrics.get("lineage_off_p50_s", 0.0)
+    on = metrics.get("lineage_on_p50_s", 0.0)
+    if off:
+        metrics["lineage_overhead_pct"] = round((on - off) / off * 100, 2)
     return {"bench": "core", "schema": 1, "metrics": metrics}
+
+
+def _span_aggregates(recorder: obs.TraceRecorder) -> dict:
+    """Per-span-name duration aggregates over the whole span forest."""
+    durations: dict[str, list[float]] = {}
+    for root in recorder.roots:
+        for span in root.walk():
+            durations.setdefault(span.name, []).append(span.seconds)
+    aggregates: dict[str, dict] = {}
+    for name in sorted(durations):
+        values = sorted(durations[name])
+        rank95 = min(len(values) - 1, round(0.95 * (len(values) - 1)))
+        aggregates[name] = {
+            "count": len(values),
+            "total_s": round(sum(values), 6),
+            "p50_s": round(statistics.median(values), 6),
+            "p95_s": round(values[rank95], 6),
+            "max_s": round(values[-1], 6),
+        }
+    return aggregates
+
+
+def _obs_document(recorder: obs.TraceRecorder) -> dict:
+    """The compact observability summary committed as BENCH_obs.json."""
+    metrics = recorder.metrics.as_dict()
+    histograms = {
+        name: {key: summary.get(key) for key in
+               ("count", "mean", "p50", "p90", "p95", "p99", "max", "sum")}
+        for name, summary in metrics.get("histograms", {}).items()}
+    return {
+        "bench": "obs",
+        "schema": 2,
+        "spans": _span_aggregates(recorder),
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+        "histograms": histograms,
+        "phases": [
+            {"phase": root.name, "seconds": round(root.seconds, 6),
+             **root.attributes}
+            for root in recorder.roots],
+    }
 
 #: experiment id -> list of row dicts, in insertion order.
 _REPORT: "OrderedDict[str, list[dict]]" = OrderedDict()
@@ -85,15 +136,9 @@ def pytest_sessionfinish(session):
     if _RECORDER is None:
         return
     path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")
-    # Depth 3 = test span + pipeline stage + first detail level; the
-    # full forest for a benchmark session runs to tens of MB.
-    document = obs.export_state(_RECORDER, max_depth=3)
-    document["phases"] = [
-        {"phase": root.name, "seconds": root.seconds,
-         **root.attributes}
-        for root in _RECORDER.roots]
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2)
+        json.dump(_obs_document(_RECORDER), handle, indent=2)
+        handle.write("\n")
     core_path = os.path.join(str(session.config.rootpath),
                              "BENCH_core.json")
     with open(core_path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,97 @@
+"""Experiment A10 (extension): provenance recording overhead.
+
+PR 8 threads a lineage recorder through the whole derivation chain —
+source stamps at the mediator, Skolem mints in the query engine, link
+dependencies in construction, and page/template edges in the
+generator.  The disabled path is a null object (one attribute check per
+Skolem mint), so an unobserved build should cost the same as before the
+feature existed; the enabled path buys ``repro why`` and the freshness
+gauges for bounded bookkeeping.
+
+This benchmark builds the org example site with lineage off and on
+under the spans ``site.build_lineage_off`` / ``site.build_lineage_on``;
+the conftest turns their p50s into the committed
+``lineage_overhead_pct`` metric in ``BENCH_core.json``.  The acceptance
+bar is overhead within 10% — asserted loosely here (cold-VM jitter) and
+tracked precisely by the committed number.
+"""
+
+import shutil
+
+from repro import obs
+from repro.obs.lineage import disable_lineage, lineage_recording
+from repro.sites.org import build_org_site
+
+EXPERIMENT = "A10 (extension): lineage recording overhead"
+
+PEOPLE = 80
+ROUNDS = 5
+
+#: Generous in-test bar — the honest number is lineage_overhead_pct in
+#: BENCH_core.json; a handful of runs has to survive CI jitter.
+MAX_OVERHEAD_FACTOR = 1.5
+
+
+def _build(out_dir: str) -> None:
+    shutil.rmtree(out_dir, ignore_errors=True)
+    site = build_org_site(people=PEOPLE, seed=10)
+    report = site.build_site(out_dir)
+    assert report.pages_rendered > 0
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_lineage_overhead(experiment, tmp_path):
+    """Building with lineage recording on stays within a small factor
+    of the lineage-off build, and the recorded index actually resolves
+    every generated page.
+
+    Off and on rounds are interleaved (not two separate batches) so the
+    two p50s see the same machine state; the conftest turns the span
+    medians into the committed ``lineage_overhead_pct`` metric.
+    """
+    import time
+
+    off_dir, on_dir = str(tmp_path / "off"), str(tmp_path / "on")
+    disable_lineage()  # make sure the off runs really are off
+
+    # Warm-up both paths outside the timed spans (imports, template
+    # compile, allocator growth).
+    _build(off_dir)
+    with lineage_recording():
+        _build(on_dir)
+
+    off_seconds, on_seconds = [], []
+    lineage_len = 0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        with obs.timed("site.build_lineage_off"):
+            _build(off_dir)
+        off_seconds.append(time.perf_counter() - start)
+
+        with lineage_recording() as lineage:
+            start = time.perf_counter()
+            with obs.timed("site.build_lineage_on"):
+                _build(on_dir)
+            on_seconds.append(time.perf_counter() - start)
+            # The rendered pages were recorded during the build; every
+            # one must resolve to a non-empty derivation chain.
+            lineage_len = len(lineage)
+            pages = lineage.page_records()
+            assert pages
+            for page in pages:
+                doc = lineage.why(page.url)
+                assert doc and doc.get("derivation"), \
+                    f"no derivation for {page.url}"
+
+    assert lineage_len > 0
+    off_p50, on_p50 = _median(off_seconds), _median(on_seconds)
+    overhead_pct = ((on_p50 - off_p50) / off_p50 * 100) if off_p50 else 0.0
+    assert on_p50 <= off_p50 * MAX_OVERHEAD_FACTOR, (
+        f"lineage build {on_p50:.3f}s vs {off_p50:.3f}s off")
+    experiment.row(mode="lineage off", seconds=f"{off_p50:.3f}")
+    experiment.row(mode="lineage on", seconds=f"{on_p50:.3f}",
+                   note=f"{overhead_pct:+.1f}% (records={lineage_len})")

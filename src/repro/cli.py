@@ -18,6 +18,8 @@ without writing Python:
     $ python -m repro monitor build --data ... --out dash/
     $ python -m repro serve --port 8080 build --data ... \\
           --query site.struql --templates templates/
+    $ python -m repro why PersonPage_p1_.html --data pubs.bib \\
+          --query site.struql --templates templates/
     $ python -m repro bench compare OLD.json NEW.json
 
 Data files are wrapped by extension:
@@ -43,6 +45,7 @@ Template files ``<Name>.tmpl`` register under ``Name`` as pages;
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -67,6 +70,32 @@ from repro.wrappers.xml_wrapper import XmlWrapper
 
 def _table_name(path: str) -> str:
     return os.path.splitext(os.path.basename(path))[0].capitalize()
+
+
+#: File suffix -> wrapper kind recorded in source provenance stamps.
+_SUFFIX_KINDS = {
+    ".ddl": "ddl", ".strudel": "ddl", ".bib": "bibtex",
+    ".csv": "relational", ".rec": "structured-file", ".xml": "xml",
+    ".html": "html", ".htm": "html", ".json": "graph-json",
+}
+
+
+def _stamp_file_source(path: str, graph: Graph) -> None:
+    """Record a fetch stamp (and lineage membership) for one file."""
+    from repro.mediator.sources import record_fetch
+    from repro.obs.lineage import get_lineage
+    name = os.path.basename(path)
+    suffix = os.path.splitext(path)[1].lower()
+    try:
+        with open(path, "rb") as handle:
+            digest = hashlib.sha1(handle.read()).hexdigest()[:16]
+    except OSError:
+        digest = ""
+    record_fetch(name, _SUFFIX_KINDS.get(suffix, "file"), digest,
+                 graph.node_count, graph.edge_count)
+    lineage = get_lineage()
+    if lineage.enabled:
+        lineage.record_source_nodes(name, graph)
 
 
 def load_data_file(path: str) -> Graph:
@@ -111,12 +140,24 @@ def load_data(paths: list[str], graph_name: str) -> Graph:
                 continue
             with recorder.span("mediator.fetch",
                                source=os.path.basename(path)):
-                merged.import_graph(load_data_file(path))
+                wrapped = load_data_file(path)
+                merged.import_graph(wrapped)
+                _stamp_file_source(path, wrapped)
                 obs.emit_event("info", "mediator.fetch",
                                source=os.path.basename(path))
         if html_pages:
+            from repro.mediator.sources import record_fetch
+            from repro.obs.lineage import get_lineage, \
+                graph_content_hash
             with recorder.span("mediator.fetch", source="html-pages"):
-                merged.import_graph(HtmlWrapper().wrap_pages(html_pages))
+                wrapped = HtmlWrapper().wrap_pages(html_pages)
+                merged.import_graph(wrapped)
+                record_fetch("html-pages", "html",
+                             graph_content_hash(wrapped),
+                             wrapped.node_count, wrapped.edge_count)
+                lineage = get_lineage()
+                if lineage.enabled:
+                    lineage.record_source_nodes("html-pages", wrapped)
         span.set(nodes=merged.node_count, edges=merged.edge_count)
     return merged
 
@@ -148,6 +189,39 @@ def _read_query(path: str):
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    from repro.obs.lineage import (
+        disable_lineage,
+        enable_lineage,
+        freshness_report,
+        update_freshness_gauges,
+    )
+    from repro.obs.lineage import get_lineage as _get_lineage
+    lineage_on = bool(getattr(args, "lineage", False)
+                      or getattr(args, "max_age", None) is not None)
+    # An outer command (repro monitor --max-age ...) may already be
+    # recording; stamp into its index and leave its lifetime alone.
+    already_on = _get_lineage().enabled
+    if lineage_on and not already_on:
+        enable_lineage()
+    try:
+        return _run_build(args)
+    finally:
+        if lineage_on:
+            if args.max_age is not None:
+                report = freshness_report(max_age=args.max_age)
+                update_freshness_gauges(
+                    obs.get_recorder().metrics, max_age=args.max_age)
+                stale = report["stale_pages"]
+                print(f"freshness: {len(report['sources'])} sources, "
+                      f"{len(stale)} stale page(s) past "
+                      f"{args.max_age:.0f}s")
+                for url in stale[:10]:
+                    print(f"  stale: {url}")
+            if not already_on:
+                disable_lineage()
+
+
+def _run_build(args: argparse.Namespace) -> int:
     query = _read_query(args.query)
     data = load_data(args.data, query.input_name)
     engine = QueryEngine(optimizer=args.optimizer)
@@ -192,6 +266,52 @@ def cmd_build(args: argparse.Namespace) -> int:
             jobs=jobs, options={"optimizer": args.optimizer})
         print(f"{report.summary()} to {args.out}")
     return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    """Print the backward derivation tree of one page (or oid).
+
+    Rebuilds the site graph with lineage recording on, so every layer
+    of the chain is resolvable: source record (file stamp or mediator
+    source) -> mediator rule / query block -> Skolem function and
+    binding args -> template.  ``TARGET`` is a page URL
+    (``PersonPage_p1_.html``) or an oid display name
+    (``PersonPage(p1)``); ``--list`` prints every page URL instead.
+    """
+    from repro.obs.lineage import lineage_recording, render_why
+    from repro.site.builder import Website
+    query = _read_query(args.query)
+    with lineage_recording() as lineage:
+        data = load_data(args.data, query.input_name)
+        templates = load_templates(args.templates) \
+            if args.templates else None
+        site = Website(data, query, templates=templates,
+                       engine=QueryEngine(optimizer=args.optimizer))
+        site.build()
+        site.generator().record_lineage()
+        if args.list:
+            try:
+                for record in lineage.page_records():
+                    print(f"{record.url}\t{record.oid}\t"
+                          f"{record.template}")
+            except BrokenPipeError:  # `repro why --list | head`
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, sys.stdout.fileno())
+            return 0
+        if not args.target:
+            print("error: why needs a TARGET page url or oid "
+                  "(or --list)", file=sys.stderr)
+            return 2
+        document = site.why(args.target, max_age=args.max_age)
+        if document is None:
+            print(f"error: no lineage for {args.target!r} — not a "
+                  "generated page url or known oid", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(document, indent=2))
+        else:
+            print(render_why(document))
+        return 0
 
 
 def cmd_schema(args: argparse.Namespace) -> int:
@@ -371,9 +491,21 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    with obs.recording() as recorder:
-        code = main(rest)
-    site = build_monitor_site(recorder)
+    # With --max-age the wrapped command runs under lineage recording so
+    # the dashboard's Freshness page can count stale pages, not just
+    # source ages.
+    lineage_on = args.max_age is not None
+    if lineage_on:
+        from repro.obs.lineage import enable_lineage
+        enable_lineage()
+    try:
+        with obs.recording() as recorder:
+            code = main(rest)
+        site = build_monitor_site(recorder, max_age=args.max_age)
+    finally:
+        if lineage_on:
+            from repro.obs.lineage import disable_lineage
+            disable_lineage()
     os.makedirs(out_dir, exist_ok=True)
     pages = site.generate(out_dir)
     write_prometheus(recorder.metrics,
@@ -417,18 +549,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: serve needs --templates to render pages",
               file=sys.stderr)
         return 2
+    from repro.obs.lineage import disable_lineage, enable_lineage
     recorder = obs.enable(serving_recorder())
+    enable_lineage()  # serve is the lineage plane's natural home
     try:
         plane = TelemetryHTTPServer(recorder, host=args.host,
-                                    port=args.port)
+                                    port=args.port,
+                                    max_age=args.max_age)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
+        disable_lineage()
         obs.disable()
         return 1
     print(f"serving on http://{args.host}:{plane.port}", flush=True)
     print("telemetry: /metrics /healthz /readyz /debug/traces "
-          "/debug/events /debug/profile /debug/queries", flush=True)
+          "/debug/events /debug/profile /debug/queries "
+          "/debug/lineage", flush=True)
     thread = plane.start_background()
     plane.install_signal_handlers()
     try:
@@ -450,6 +587,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         while thread.is_alive():
             thread.join(0.2)
         plane.server_close()
+        disable_lineage()
         obs.disable()
         return 1
     # join() in a loop so SIGINT/SIGTERM handlers run in the main
@@ -460,6 +598,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     plane.write_snapshot(args.snapshot_dir)
     print(f"shutdown: final snapshot in {args.snapshot_dir}",
           flush=True)
+    disable_lineage()
     obs.disable()
     return 0
 
@@ -516,7 +655,40 @@ def make_parser() -> argparse.ArgumentParser:
                        help="also save the site graph as JSON")
     build.add_argument("--site-dot",
                        help="also save a GraphViz view of the site graph")
+    build.add_argument("--lineage", action="store_true",
+                       help="record provenance while building (saved "
+                            "as lineage.json next to the build-cache "
+                            "manifest when --cache-dir is set)")
+    build.add_argument("--max-age", type=float, default=None,
+                       help="freshness threshold in seconds: report "
+                            "pages whose newest contributing source "
+                            "is older (implies --lineage)")
     build.set_defaults(fn=cmd_build)
+
+    why = sub.add_parser(
+        "why",
+        help="print a page's backward derivation tree "
+             "(source -> query block -> Skolem fn -> template)")
+    why.add_argument("target", nargs="?",
+                     help="page url (PersonPage_p1_.html) or oid "
+                          "display name (PersonPage(p1))")
+    why.add_argument("--data", action="append", required=True,
+                     help="data file (repeatable; wrapped by suffix)")
+    why.add_argument("--query", required=True,
+                     help="StruQL site-definition file")
+    why.add_argument("--templates",
+                     help="directory of *.tmpl files (adds the "
+                          "template layer to the chain)")
+    why.add_argument("--optimizer", default="cost",
+                     choices=("naive", "heuristic", "cost"))
+    why.add_argument("--max-age", type=float, default=None,
+                     help="flag the page stale when its newest "
+                          "contributing source is older (seconds)")
+    why.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output")
+    why.add_argument("--list", action="store_true",
+                     help="list every generated page url instead")
+    why.set_defaults(fn=cmd_why)
 
     schema = sub.add_parser("schema", help="print a query's site schema")
     schema.add_argument("--query", required=True)
@@ -586,6 +758,9 @@ def make_parser() -> argparse.ArgumentParser:
                          help="dashboard output directory (may also be "
                               "given as the last --out after the "
                               "wrapped command; default monitor-www)")
+    monitor.add_argument("--max-age", type=float, default=None,
+                         help="staleness threshold (seconds) for the "
+                              "dashboard's Freshness page")
     monitor.add_argument("rest", nargs=argparse.REMAINDER,
                          help="the command to run, e.g. build --data ...")
     monitor.set_defaults(fn=cmd_monitor)
@@ -604,6 +779,9 @@ def make_parser() -> argparse.ArgumentParser:
                        help="server.slow_request warn threshold in "
                             "milliseconds (default 0: warn on every "
                             "slowest-heap entry)")
+    serve.add_argument("--max-age", type=float, default=None,
+                       help="freshness threshold in seconds for "
+                            "lineage.pages_stale_total on /metrics")
     serve.add_argument("rest", nargs=argparse.REMAINDER,
                        help="build arguments naming the site, e.g. "
                             "build --data ... --query ... --templates ...")

@@ -12,11 +12,51 @@ raises :class:`~repro.errors.AccessPatternError`.
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import AccessPatternError, MediatorError
 from repro.graph.model import Graph
+from repro.obs.lineage import SourceRecord, get_lineage, \
+    graph_content_hash
 from repro.obs.trace import emit_event, get_recorder
+
+#: Most recent fetch stamps per source, kept even when lineage is off
+#: so the ``/debug`` snapshot can always answer "what did we load,
+#: when, and did its content change?".
+_FETCH_LIMIT = 256
+_FETCHES: "OrderedDict[str, dict]" = OrderedDict()
+_FETCH_LOCK = threading.Lock()
+
+
+def record_fetch(name: str, kind: str, content_hash: str,
+                 nodes: int, edges: int, version: int = 0,
+                 fetched_at: float | None = None) -> SourceRecord:
+    """Stamp one source fetch (always), feed lineage when enabled."""
+    fetched_at = time.time() if fetched_at is None else fetched_at
+    stamp = {"source": name, "kind": kind, "fetched_at": fetched_at,
+             "content_hash": content_hash, "nodes": nodes,
+             "edges": edges, "version": version}
+    with _FETCH_LOCK:
+        _FETCHES[name] = stamp
+        _FETCHES.move_to_end(name)
+        while len(_FETCHES) > _FETCH_LIMIT:
+            _FETCHES.popitem(last=False)
+    record = SourceRecord(source=name, kind=kind, fetched_at=fetched_at,
+                          content_hash=content_hash, nodes=nodes,
+                          edges=edges, version=version)
+    lineage = get_lineage()
+    if lineage.enabled:
+        lineage.record_source(record)
+    return record
+
+
+def recent_fetches() -> list[dict]:
+    """Fetch stamps for every recently loaded source (newest last)."""
+    with _FETCH_LOCK:
+        return [dict(stamp) for stamp in _FETCHES.values()]
 
 #: Produces a source's current graph.  Parameterless for ordinary
 #: sources; limited-access sources receive keyword parameters.
@@ -33,6 +73,25 @@ class DataSource:
         self._loader = loader
         self.version = 0
         self.load_count = 0
+        self.last_fetched_at: float | None = None
+        self.last_content_hash: str | None = None
+
+    @property
+    def kind(self) -> str:
+        """The wrapper kind backing this source (for provenance).
+
+        A loader may declare ``wrapper_kind``; bound wrapper methods
+        expose their wrapper's ``kind``; plain functions fall back to
+        their name.
+        """
+        loader = self._loader
+        declared = getattr(loader, "wrapper_kind", None)
+        if declared:
+            return str(declared)
+        owner = getattr(loader, "__self__", None)
+        if owner is not None and getattr(owner, "kind", None):
+            return str(owner.kind)
+        return getattr(loader, "__name__", type(loader).__name__)
 
     def load(self, **parameters) -> Graph:
         """Fetch the source's current contents as a graph."""
@@ -44,6 +103,15 @@ class DataSource:
                        version=self.version, load_count=self.load_count)
         recorder.metrics.counter("mediator.source_loads").inc()
         graph.name = self.name
+        self.last_content_hash = graph_content_hash(graph)
+        self.last_fetched_at = time.time()
+        record_fetch(self.name, self.kind, self.last_content_hash,
+                     graph.node_count, graph.edge_count,
+                     version=self.version,
+                     fetched_at=self.last_fetched_at)
+        lineage = get_lineage()
+        if lineage.enabled:
+            lineage.record_source_nodes(self.name, graph)
         return graph
 
     def touch(self) -> None:

@@ -27,6 +27,8 @@ answers two kinds of traffic on one port:
   ``/debug/profile``  the per-stage hotspot profile
   ``/debug/queries``  the bounded query plan registry: per-fingerprint
                   counts, p50/p95 latency, rows, last plan
+  ``/debug/lineage``  provenance: the backward derivation tree for
+                  ``?page=<url|oid>``, or an index summary without it
   ============== =====================================================
 
 Every request gets a ``req-N`` id stamped into its span attributes,
@@ -51,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import span_to_dict
+from repro.obs.lineage import get_lineage, update_freshness_gauges
 from repro.obs.promexport import to_prometheus, write_prometheus
 from repro.obs.queries import get_query_registry
 from repro.obs.trace import (
@@ -129,11 +132,16 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, recorder: TraceRecorder | NullRecorder,
                  host: str = "127.0.0.1", port: int = 0,
-                 site_server=None, access_log: bool = True) -> None:
+                 site_server=None, access_log: bool = True,
+                 max_age: float | None = None) -> None:
         super().__init__((host, port), _Handler)
         self.recorder = recorder
         self.site_server = site_server
         self.access_log = access_log
+        #: Freshness threshold (seconds): pages whose newest
+        #: contributing source is older count into
+        #: ``lineage.pages_stale_total`` on each ``/metrics`` scrape.
+        self.max_age = max_age
         self.started = time.time()
         self.tail: TailSampler | None = getattr(recorder, "tail", None)
         if self.tail is None and recorder.enabled:
@@ -212,10 +220,17 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         }
         write_prometheus(self.recorder.metrics, paths["metrics"])
         self.recorder.events.write_jsonl(paths["events"])
+        from repro.mediator.sources import recent_fetches
         site = self.site_server
         cache_snapshot = getattr(site, "cache_snapshot", None)
         document = {
             "uptime_seconds": time.time() - self.started,
+            # Fetch stamps are recorded even with lineage off (each
+            # carries source id, wrapper kind, timestamp, content hash).
+            "sources": recent_fetches(),
+            "lineage": (get_lineage().summary()
+                        if get_lineage().enabled
+                        else {"enabled": False}),
             "profile": self._profile_payload(limit=None),
             "traces": self._traces_payload(DEBUG_TRACE_DEPTH),
             "queries": get_query_registry().snapshot(
@@ -287,6 +302,11 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
                 return 200, CONTENT_TEXT, "ready\n"
             return 503, CONTENT_TEXT, "loading\n"
         if path == "/metrics":
+            if self.recorder.enabled and get_lineage().enabled:
+                # Freshness is scrape-time state: age every source
+                # record (and re-count stale pages) per scrape.
+                update_freshness_gauges(self.recorder.metrics,
+                                        max_age=self.max_age)
             return 200, CONTENT_PROM, to_prometheus(self.recorder.metrics)
         if path == "/debug/traces":
             depth = _int_param(query, "depth", DEBUG_TRACE_DEPTH)
@@ -303,9 +323,47 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             limit = _int_param(query, "limit", DEBUG_QUERY_LIMIT)
             return 200, CONTENT_JSON, json.dumps(
                 get_query_registry().snapshot(limit=limit), indent=2)
+        if path == "/debug/lineage":
+            return self._lineage_route(query)
         if path.startswith("/debug/"):
             return 404, CONTENT_TEXT, f"no such debug endpoint: {path}\n"
         return self._page(path, request_id)
+
+    def _lineage_route(self, query: dict) -> tuple[int, str, str]:
+        """``/debug/lineage``: a why-tree for ``?page=``, else a summary."""
+        lineage = get_lineage()
+        target = query.get("page", [None])[0]
+        if not lineage.enabled:
+            return 200, CONTENT_JSON, json.dumps(
+                {"enabled": False}, indent=2)
+        if target is None:
+            document = dict(lineage.summary())
+            document["source_records"] = [
+                record.to_dict() for record in lineage.sources()]
+            document["max_age_seconds"] = self.max_age
+            return 200, CONTENT_JSON, json.dumps(document, indent=2)
+        target = target.lstrip("/")
+        site = self.site_server
+        if site is not None and lineage.resolve(target) == (None, None):
+            # Serve mode computes pages on demand; a click-time page
+            # that hasn't been requested yet has no lineage. Resolve
+            # the path to its oid and materialize it first.
+            oid = site.resolve_path(target)
+            if oid is not None:
+                try:
+                    site.graph.ensure(oid)
+                except Exception:  # noqa: BLE001 — fall through to 404
+                    pass
+                template = getattr(site, "generator", None)
+                if template is not None:
+                    lineage.record_page(
+                        target, oid,
+                        site.generator.template_for(oid) or "")
+        document = lineage.why(target, max_age=self.max_age)
+        if document is None:
+            return 404, CONTENT_JSON, json.dumps(
+                {"error": f"no lineage for {target!r}"}, indent=2)
+        return 200, CONTENT_JSON, json.dumps(document, indent=2)
 
     def _page(self, path: str, request_id: str) -> tuple[int, str, str]:
         site = self.site_server

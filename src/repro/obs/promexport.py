@@ -49,7 +49,19 @@ HELP_TEXT: dict[str, str] = {
     "repository.index.hits": "Labeled edge lookups served by an index.",
     "repository.index.misses":
         "Labeled edge lookups that fell back to a linear edge scan.",
+    "lineage.sources":
+        "Source records currently held by the lineage index.",
+    "lineage.pages_stale_total":
+        "Pages whose newest contributing source is older than "
+        "--max-age at the last freshness evaluation.",
 }
+
+#: Per-source freshness gauges follow the flat-name convention
+#: ``lineage.source_age_seconds.<source>``; this prefix maps them to a
+#: shared HELP line at exposition time.
+SOURCE_AGE_PREFIX = "lineage.source_age_seconds."
+SOURCE_AGE_HELP = ("Seconds since this source's last successful fetch "
+                   "(suffix = source id).")
 
 _NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -146,7 +158,10 @@ def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX,
         lines.append(f"{base}{label_str} {_format_value(value)}")
     for name, value in data.get("gauges", {}).items():
         base = sanitize_name(name, prefix)
-        help_text = HELP_TEXT.get(name, f"Gauge {name}.")
+        if name.startswith(SOURCE_AGE_PREFIX):
+            help_text = HELP_TEXT.get(name, SOURCE_AGE_HELP)
+        else:
+            help_text = HELP_TEXT.get(name, f"Gauge {name}.")
         lines.append(f"# HELP {base} {escape_help(help_text)}")
         lines.append(f"# TYPE {base} gauge")
         lines.append(f"{base}{label_str} {_format_value(value)}")

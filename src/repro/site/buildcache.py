@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.graph.model import Graph, Oid
 from repro.graph.serialization import graph_from_json, graph_to_json
+from repro.obs.lineage import get_lineage, lineage_path
 from repro.obs.trace import get_recorder
 from repro.site.diff import diff_graphs
 from repro.templates.generator import HtmlGenerator, TemplateSet
@@ -427,4 +428,12 @@ def cached_generate(site: Graph, generator: HtmlGenerator,
     metrics.gauge("site.build.jobs").set(jobs)
     metrics.histogram("site.build.seconds").observe(report.seconds)
     metrics.counter("site.pages_built").inc(report.pages_rendered)
+    lineage = get_lineage()
+    if lineage.enabled and cache is not None:
+        # Serialize lineage next to the manifest so provenance survives
+        # incremental rebuilds: merge the previous build's file first
+        # (fresh records win), then rewrite it.
+        path = lineage_path(cache.directory)
+        lineage.load(path)
+        lineage.save(path)
     return report

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SiteError
 from repro.graph.model import Graph, Oid
+from repro.obs.lineage import get_lineage
 from repro.obs.trace import get_recorder
 from repro.site.buildcache import (
     BuildCache,
@@ -155,6 +156,23 @@ class Website:
         """The generator options that key the build cache."""
         return {"loader": type(self.loader).__name__
                 if self.loader is not None else None}
+
+    def why(self, target: str,
+            max_age: float | None = None) -> dict | None:
+        """The backward derivation tree for one page url or oid name.
+
+        Only meaningful when lineage recording was enabled
+        (:func:`repro.obs.lineage.enable_lineage`) *before* the site
+        was built — ``repro why`` arranges that.  Page -> template
+        edges are recorded on demand so the tree reaches the template
+        layer even without an HTML build.
+        """
+        lineage = get_lineage()
+        if not lineage.enabled:
+            return None
+        self.build()
+        self.generator().record_lineage()
+        return lineage.why(target, max_age=max_age)
 
     def verify(self, constraints: list[Constraint],
                schema_level: bool = True,

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from repro.errors import PageNotFoundError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
-from repro.obs.queries import get_query_registry
+from repro.obs.lineage import get_lineage
+from repro.obs.queries import fingerprint, get_query_registry
 from repro.obs.trace import get_recorder
 from repro.struql.ast import AggregateCond, Const, Query, SkolemTerm, Var
 from repro.struql.bindings import Binding, RuntimeValue, as_label
@@ -82,6 +83,9 @@ class DynamicSite:
         self.engine = engine or QueryEngine()
         self.units = flatten(query)
         self.skolem = SkolemRegistry()
+        #: The site query's fingerprint, also used as the lineage query
+        #: context for click-time Skolem mints.
+        self.fingerprint = fingerprint(query)
         self._cache_enabled = cache
         self.max_pages = max(int(max_pages), 1)
         self._page_cache: "OrderedDict[Oid, PageView]" = OrderedDict()
@@ -112,10 +116,15 @@ class DynamicSite:
     def roots(self) -> list[Oid]:
         """The precomputable root pages: zero-argument Skolem creates."""
         roots: dict[Oid, None] = {}
+        lineage = get_lineage()
         for unit in self.units:
             for term in unit.creates:
                 if not term.args and not unit.conditions:
-                    roots.setdefault(self.skolem.apply(term.fn, ()), None)
+                    with lineage.query_context(
+                            fingerprint=self.fingerprint,
+                            block=unit.label, input=self.data.name):
+                        roots.setdefault(
+                            self.skolem.apply(term.fn, ()), None)
         return list(roots)
 
     # -- page computation ------------------------------------------------------------
@@ -204,28 +213,34 @@ class DynamicSite:
                           and len(c.term.args) == len(oid.skolem_args)]
             if not relevant and not collecting:
                 continue
-            for link in unit.links:
-                if link.source.fn != fn or \
-                        len(link.source.args) != len(oid.skolem_args):
-                    continue
-                for row in self._unit_rows(unit, link.source, oid):
-                    label_value = self._resolve(link.label, row)
-                    label = as_label(label_value) if label_value is not None \
-                        else None
-                    target = self._resolve(link.target, row)
-                    if label is None or target is None:
+            lineage = get_lineage()
+            with lineage.query_context(fingerprint=self.fingerprint,
+                                       block=unit.label,
+                                       input=self.data.name):
+                for link in unit.links:
+                    if link.source.fn != fn or \
+                            len(link.source.args) != len(oid.skolem_args):
                         continue
-                    if isinstance(target, str):
-                        target = Atom.string(target)
-                    key = (label, target)
-                    if key not in seen_edges:
-                        seen_edges.add(key)
-                        view.edges.append(key)
-            for collect in collecting:
-                assert isinstance(collect.term, SkolemTerm)
-                for row in self._unit_rows(unit, collect.term, oid):
-                    if collect.name not in view.collections:
-                        view.collections.append(collect.name)
+                    for row in self._unit_rows(unit, link.source, oid):
+                        label_value = self._resolve(link.label, row)
+                        label = as_label(label_value) \
+                            if label_value is not None else None
+                        target = self._resolve(link.target, row)
+                        if label is None or target is None:
+                            continue
+                        if isinstance(target, str):
+                            target = Atom.string(target)
+                        key = (label, target)
+                        if key not in seen_edges:
+                            seen_edges.add(key)
+                            view.edges.append(key)
+                            if lineage.enabled:
+                                lineage.record_dep(oid, target)
+                for collect in collecting:
+                    assert isinstance(collect.term, SkolemTerm)
+                    for row in self._unit_rows(unit, collect.term, oid):
+                        if collect.name not in view.collections:
+                            view.collections.append(collect.name)
         return view
 
     def _unit_rows(self, unit: ConjunctiveUnit, source: SkolemTerm,

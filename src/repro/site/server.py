@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import PageNotFoundError, StrudelError
 from repro.graph.model import Graph, Oid
+from repro.obs.lineage import get_lineage
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
 from repro.site.incremental import DynamicSite, LazySiteGraph
@@ -296,6 +297,14 @@ class DynamicSiteServer:
                     raise PageNotFoundError(oid)
                 body = self.generator.render(oid)
                 status = 200
+                lineage = get_lineage()
+                if lineage.enabled:
+                    # Served pages join the lineage index as they are
+                    # clicked, so /debug/lineage?page= answers for any
+                    # page a visitor has actually seen.
+                    lineage.record_page(
+                        self.generator.url_for(oid), oid,
+                        self.generator.template_for(oid) or "")
             except Exception as exc:
                 status, kind = classify_error(exc)
                 self.log.count_error()

@@ -19,6 +19,7 @@ import time
 
 from repro.graph.model import Graph, Oid
 from repro.graph.values import Atom
+from repro.obs.lineage import freshness_report, get_lineage
 from repro.obs.queries import get_query_registry
 from repro.obs.trace import (
     NullRecorder,
@@ -40,7 +41,7 @@ MAX_QUERY_NODES = 50
 #: where clauses are well-formed even over an idle recorder).
 TELEMETRY_COLLECTIONS = (
     "Spans", "Traces", "Stages", "Counters", "Gauges", "Histograms",
-    "Events", "Requests", "Queries", "Summary",
+    "Events", "Requests", "Queries", "Sources", "Summary",
 )
 
 
@@ -111,14 +112,16 @@ def _metric_nodes(graph: Graph, metrics: dict) -> None:
 #: The telemetry-plane paths a live ``repro serve`` process exposes
 #: (mirrored on the dashboard when a ``live_url`` is given).
 LIVE_ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/debug/traces",
-                  "/debug/events", "/debug/profile", "/debug/queries")
+                  "/debug/events", "/debug/profile", "/debug/queries",
+                  "/debug/lineage")
 
 
 def telemetry_graph(recorder: TraceRecorder | NullRecorder,
                     server_log=None,
                     max_spans: int = MAX_SPAN_NODES,
                     live_url: str | None = None,
-                    queries=None) -> Graph:
+                    queries=None,
+                    max_age: float | None = None) -> Graph:
     """A recorder's telemetry as an ordinary STRUDEL data graph.
 
     ``server_log`` is an optional :class:`~repro.site.server.ServerLog`
@@ -130,7 +133,11 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     of being a purely post-hoc view.  ``queries`` is an optional
     :class:`~repro.obs.queries.QueryStatsRegistry` (or its
     ``snapshot()`` dict); by default the process-global query registry
-    feeds the ``Queries`` collection.
+    feeds the ``Queries`` collection.  Source fetch stamps (from the
+    mediator's always-on fetch log, merged with the lineage index when
+    recording is enabled) become the ``Sources`` collection; ``max_age``
+    is the staleness threshold in seconds for the summary's
+    ``stale_pages`` count.
     """
     graph = Graph("TELEMETRY")
     for name in TELEMETRY_COLLECTIONS:
@@ -204,6 +211,28 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
         graph.add_edge(oid, "optimizer",
                        Atom.string(entry.get("last_optimizer") or "-"))
 
+    from repro.mediator.sources import recent_fetches
+    stamps = {s["source"]: dict(s) for s in recent_fetches()}
+    lineage = get_lineage()
+    if lineage.enabled:
+        for record in lineage.sources():
+            stamps.setdefault(record.source, record.to_dict())
+    now = time.time()
+    for name in sorted(stamps):
+        stamp = stamps[name]
+        oid = graph.add_node(Oid(f"source-{name}"))
+        graph.add_to_collection("Sources", oid)
+        graph.add_edge(oid, "name", Atom.string(name))
+        graph.add_edge(oid, "kind",
+                       Atom.string(stamp.get("kind") or "loader"))
+        fetched = float(stamp.get("fetched_at") or 0.0)
+        graph.add_edge(oid, "age_s",
+                       Atom.float(round(max(now - fetched, 0.0), 1)))
+        graph.add_edge(oid, "hash",
+                       Atom.string(stamp.get("content_hash") or "-"))
+        graph.add_edge(oid, "nodes", Atom.int(int(stamp.get("nodes", 0))))
+        graph.add_edge(oid, "edges", Atom.int(int(stamp.get("edges", 0))))
+
     summary = graph.add_node(Oid("summary"))
     graph.add_to_collection("Summary", summary)
     graph.add_edge(summary, "spans", Atom.int(span_count))
@@ -217,6 +246,11 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     graph.add_edge(summary, "events", Atom.int(len(events)))
     graph.add_edge(summary, "queries",
                    Atom.int(query_snapshot.get("fingerprints", 0)))
+    graph.add_edge(summary, "sources", Atom.int(len(stamps)))
+    if lineage.enabled:
+        report = freshness_report(lineage, max_age=max_age, now=now)
+        graph.add_edge(summary, "stale_pages",
+                       Atom.int(len(report.get("stale_pages", ()))))
     graph.add_edge(summary, "generated", Atom.string(
         time.strftime("%Y-%m-%d %H:%M:%S")))
     if live_url:
@@ -236,13 +270,14 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
 MONITOR_QUERY = """
 INPUT TELEMETRY
 CREATE Dashboard(), StageIndex(), TraceIndex(), MetricsPage(),
-       RequestsPage(), EventsPage(), QueriesPage()
+       RequestsPage(), EventsPage(), QueriesPage(), FreshnessPage()
 LINK Dashboard() -> "Stages" -> StageIndex(),
      Dashboard() -> "Traces" -> TraceIndex(),
      Dashboard() -> "Metrics" -> MetricsPage(),
      Dashboard() -> "Requests" -> RequestsPage(),
      Dashboard() -> "Events" -> EventsPage(),
-     Dashboard() -> "Queries" -> QueriesPage()
+     Dashboard() -> "Queries" -> QueriesPage(),
+     Dashboard() -> "Freshness" -> FreshnessPage()
 // Overview numbers straight off the summary node
 { WHERE Summary(m), m -> l -> v
   LINK Dashboard() -> l -> v
@@ -306,6 +341,12 @@ LINK Dashboard() -> "Stages" -> StageIndex(),
   LINK QueryRow(q) -> l -> v,
        QueriesPage() -> "Query" -> QueryRow(q)
 }
+// Per-source freshness rows off the mediator fetch stamps
+{ WHERE Sources(f), f -> l -> v
+  CREATE SourceRow(f)
+  LINK SourceRow(f) -> l -> v,
+       FreshnessPage() -> "Source" -> SourceRow(f)
+}
 OUTPUT MONITOR
 """
 
@@ -321,6 +362,8 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @spans> spans in <SFMT @traces> traces</LI>
 <LI><SFMT @counters> counters, <SFMT @gauges> gauges, <SFMT @histograms> histograms</LI>
 <LI><SFMT @events> events</LI>
+<SIF @sources><LI><SFMT @sources> tracked sources<SIF @stale_pages>
+(<SFMT @stale_pages> stale pages)</SIF></LI></SIF>
 </UL>
 <H2>Browse</H2>
 <UL>
@@ -330,6 +373,7 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @Requests TAG="Slowest requests"></LI>
 <LI><SFMT @Events TAG="Event log"></LI>
 <LI><SFMT @Queries TAG="Query registry"></LI>
+<LI><SFMT @Freshness TAG="Source freshness"></LI>
 </UL>
 <SIF @live><H2>Live endpoints</H2>
 <P>A <TT>repro serve</TT> process is exporting this telemetry at
@@ -438,6 +482,22 @@ counterpart is <TT>/debug/queries</TT>).</P>
 <TD><SFMT @p50_ms></TD><TD><SFMT @p95_ms></TD><TD><SFMT @rows></TD>
 <TD><SFMT @slow></TD><TD><SFMT @misestimates></TD>
 <TD><SFMT @optimizer></TD></TR>""", as_page=False)
+    templates.add("FreshnessPage", """<HTML><HEAD><TITLE>Freshness</TITLE></HEAD>
+<BODY>
+<H1>Source freshness</H1>
+<P>Per-source fetch stamps from the mediator — age since last
+successful load, content hash and graph size (the live counterpart
+is <TT>/debug/lineage</TT>).</P>
+<SIF @Source>
+<TABLE><TR><TH>source</TH><TH>kind</TH><TH>age s</TH><TH>hash</TH>
+<TH>nodes</TH><TH>edges</TH></TR>
+<SFMTLIST @Source FORMAT=EMBED ORDER=ascend KEY=name DELIM="">
+</TABLE>
+<SELSE><P>No source fetches recorded.</P></SIF>
+</BODY></HTML>""")
+    templates.add("SourceRow", """<TR><TD><SFMT @name></TD><TD><SFMT @kind></TD>
+<TD><SFMT @age_s></TD><TD><TT><SFMT @hash></TT></TD>
+<TD><SFMT @nodes></TD><TD><SFMT @edges></TD></TR>""", as_page=False)
     return templates
 
 
@@ -445,9 +505,10 @@ def build_monitor_site(recorder: TraceRecorder | NullRecorder,
                        server_log=None,
                        max_spans: int = MAX_SPAN_NODES,
                        live_url: str | None = None,
-                       queries=None) -> Website:
+                       queries=None,
+                       max_age: float | None = None) -> Website:
     """The monitoring dashboard over one recorder's telemetry."""
     data = telemetry_graph(recorder, server_log=server_log,
                            max_spans=max_spans, live_url=live_url,
-                           queries=queries)
+                           queries=queries, max_age=max_age)
     return Website(data, MONITOR_QUERY, monitor_templates())

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.errors import StruQLSemanticError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.lineage import get_lineage
 from repro.struql.ast import (
     Block,
     CollectSpec,
@@ -81,6 +82,7 @@ class GraphBuilder:
 
     def apply_links(self, links: list[LinkSpec], row: Binding) -> None:
         """Add all ``link`` edges for one binding row."""
+        lineage = get_lineage()
         for link in links:
             source = self.resolve(link.source, row)
             assert isinstance(source, Oid)
@@ -97,6 +99,11 @@ class GraphBuilder:
             target = self._as_node(self.resolve(link.target, row),
                                    f"link {link}")
             self.output.add_edge(source, label, target)
+            # Provenance: a created node's content depends on every
+            # node it links to (zero-argument pages like OrgIndex()
+            # reach their sources only through these edges).
+            if lineage.enabled:
+                lineage.record_dep(source, target)
 
     def apply_collects(self, collects: list[CollectSpec],
                        row: Binding) -> None:

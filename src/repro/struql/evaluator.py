@@ -31,6 +31,7 @@ from repro.obs.queries import (
     misestimate_ratio,
     render_explain,
 )
+from repro.obs.lineage import get_lineage
 from repro.obs.trace import TimedResult, emit_event, get_recorder, timed
 from repro.repository.indexes import GraphIndex
 from repro.repository.repository import Repository
@@ -315,8 +316,13 @@ class QueryEngine:
                                ratio=round(ratio, 1),
                                optimizer=self.optimizer.name)
             with recorder.span("struql.construct", rows=len(rows)):
-                for row in rows:
-                    builder.apply_block_row(block, row)
+                lineage = get_lineage()
+                with lineage.query_context(
+                        fingerprint=result.fingerprint,
+                        block=block.label or "(top)",
+                        input=ctx.graph.name):
+                    for row in rows:
+                        builder.apply_block_row(block, row)
         result.traces.append(BlockTrace(
             label=block.label,
             plan_explain=explain,

@@ -20,6 +20,7 @@ from typing import Iterable
 
 from repro.graph.model import GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.lineage import get_lineage
 
 
 def _canonical(value: object) -> object:
@@ -55,7 +56,14 @@ class SkolemRegistry:
         """The oid of ``fn`` applied to ``args`` (created on first use)."""
         canonical = tuple(_canonical(a) for a in args)
         oid = Oid.skolem(fn, canonical)
-        self._created.setdefault(fn, {}).setdefault(oid, None)
+        bucket = self._created.setdefault(fn, {})
+        if oid not in bucket:
+            bucket[oid] = None
+            # Provenance only on first mint: repeat applications (one
+            # per binding row referencing the node) change nothing.
+            lineage = get_lineage()
+            if lineage.enabled:
+                lineage.record_node(oid, fn, canonical)
         return oid
 
     def functions(self) -> list[str]:

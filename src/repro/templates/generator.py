@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.errors import CoercionError, MissingTemplateError, TemplateEvalError
 from repro.graph.model import Graph, GraphObject, Oid
 from repro.graph.values import Atom
+from repro.obs.lineage import get_lineage
 from repro.obs.trace import get_recorder, timed
 from repro.templates.ast import (
     AndCond,
@@ -162,6 +163,26 @@ class HtmlGenerator:
                        for ch in oid.name)
         return f"{safe or 'page'}.html"
 
+    def template_for(self, oid: Oid) -> str | None:
+        """The name of the template that would render ``oid``."""
+        selected = self.templates.select(self.graph, oid)
+        return selected[0].name if selected else None
+
+    def record_lineage(self, pages: list[Oid] | None = None) -> int:
+        """Attach page -> site-graph node -> template lineage edges.
+
+        Covers *all* pages by default (not just a dirty subset), so an
+        incremental rebuild keeps cache-skipped pages resolvable.
+        """
+        lineage = get_lineage()
+        if not lineage.enabled:
+            return 0
+        targets = self.pages() if pages is None else pages
+        for page in targets:
+            lineage.record_page(self.url_for(page), page,
+                                self.template_for(page) or "")
+        return len(targets)
+
     # -- rendering ---------------------------------------------------------------
 
     def render(self, oid: Oid) -> str:
@@ -224,6 +245,7 @@ class HtmlGenerator:
                 page_span.set(bytes=len(html))
             return page, path
 
+        self.record_lineage()
         with get_recorder().span("site.generate_site", out_dir=out_dir,
                                  jobs=jobs) as span:
             if jobs > 1 and len(targets) > 1:

@@ -21,6 +21,10 @@ class Wrapper:
     #: Default name given to produced graphs.
     graph_name = "data"
 
+    #: Wrapper kind recorded in source provenance stamps
+    #: (:mod:`repro.obs.lineage`).
+    kind = "wrapper"
+
     def wrap(self, source: str, graph_name: str | None = None) -> Graph:
         """Translate ``source`` (text) into a graph."""
         raise NotImplementedError

@@ -57,6 +57,7 @@ class BibTexWrapper(Wrapper):
     """
 
     graph_name = "bibtex"
+    kind = "bibtex"
 
     def __init__(self, collection: str = "Publications",
                  ordered_authors: bool = False) -> None:

@@ -75,6 +75,7 @@ class HtmlWrapper(Wrapper):
     """Maps HTML documents into a ``Pages`` data graph."""
 
     graph_name = "html"
+    kind = "html"
 
     def __init__(self, collection: str = "Pages") -> None:
         self.collection = collection

@@ -49,6 +49,7 @@ class JsonWrapper(Wrapper):
     """Maps a JSON document into a data graph."""
 
     graph_name = "json"
+    kind = "json"
 
     def __init__(self, collection: str = "Items",
                  id_key: str = "id") -> None:

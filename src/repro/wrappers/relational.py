@@ -55,6 +55,7 @@ class RelationalWrapper(Wrapper):
     """
 
     graph_name = "relational"
+    kind = "relational"
 
     def __init__(self, key_columns: dict[str, str] | None = None,
                  foreign_keys: dict[tuple[str, str], str] | None = None,

@@ -53,6 +53,7 @@ class StructuredFileWrapper(Wrapper):
     """Maps record files into a data graph."""
 
     graph_name = "records"
+    kind = "structured-file"
 
     def __init__(self, collection: str = "Records",
                  id_key: str = "id") -> None:

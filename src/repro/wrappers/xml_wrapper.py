@@ -27,6 +27,7 @@ class XmlWrapper(Wrapper):
     """Maps an XML document into a data graph."""
 
     graph_name = "xml"
+    kind = "xml"
 
     def wrap(self, source: str, graph_name: str | None = None) -> Graph:
         try:

@@ -500,3 +500,62 @@ class TestTraceJsonAndProfile:
         assert code == 0
         document = _trailing_json(capsys.readouterr().out)
         assert set(document) == {"profile"}
+
+
+class TestWhyCommand:
+    def _argv(self, workspace, *extra):
+        return ["why",
+                "--data", str(workspace / "pubs.ddl"),
+                "--query", str(workspace / "site.struql"),
+                "--templates", str(workspace / "templates"),
+                *extra]
+
+    def test_list_prints_every_page(self, workspace, capsys):
+        code = main(self._argv(workspace, "--list"))
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "RootPage__.html" in printed
+        # url <tab> oid <tab> template rows.
+        row = next(line for line in printed.splitlines()
+                   if line.startswith("RootPage__.html"))
+        assert row.split("\t") == ["RootPage__.html", "RootPage()",
+                                   "RootPage"]
+
+    def test_why_page_renders_full_chain(self, workspace, capsys):
+        code = main(self._argv(workspace, "RootPage__.html"))
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "template RootPage" in printed
+        assert "Skolem RootPage" in printed
+        assert "sources:" in printed
+        assert "pubs.ddl" in printed
+
+    def test_why_json_document(self, workspace, capsys):
+        code = main(self._argv(workspace, "RootPage__.html", "--json"))
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["derivation"]["fn"] == "RootPage"
+        assert any(entry["source"] == "pubs.ddl"
+                   for entry in document["sources"])
+        assert document["template"] == "RootPage"
+
+    def test_why_resolves_oid_display_name(self, workspace, capsys):
+        code = main(self._argv(workspace, "YearPage(1997)", "--json"))
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["derivation"]["fn"] == "YearPage"
+
+    def test_why_unknown_target(self, workspace, capsys):
+        code = main(self._argv(workspace, "NoSuchPage__.html"))
+        assert code == 1
+        assert "no lineage" in capsys.readouterr().err
+
+    def test_why_without_target_errors(self, workspace, capsys):
+        code = main(self._argv(workspace))
+        assert code == 2
+        assert "TARGET" in capsys.readouterr().err
+
+    def test_why_leaves_lineage_disabled(self, workspace, capsys):
+        from repro.obs.lineage import get_lineage
+        main(self._argv(workspace, "--list"))
+        assert not get_lineage().enabled

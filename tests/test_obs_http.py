@@ -482,3 +482,81 @@ class TestDebugQueries:
             open(paths["snapshot"], encoding="utf-8").read())
         assert "queries" in document
         assert document["queries"]["fingerprints"] >= 1
+
+
+@pytest.fixture
+def lineage_plane():
+    """The telemetry plane with lineage recording on (serve mode)."""
+    from repro.obs.lineage import lineage_recording
+    with lineage_recording():
+        recorder = obs.enable(serving_recorder())
+        site = DynamicSiteServer(FIG3_QUERY, fig2_data(),
+                                 fig7_templates())
+        server = TelemetryHTTPServer(recorder, port=0, access_log=False,
+                                     max_age=3600.0)
+        server.start_background()
+        try:
+            server.mount(site)
+            site.warm()
+            server.set_ready()
+            yield server
+        finally:
+            server.request_shutdown()
+            thread = server._serve_thread
+            if thread is not None:
+                thread.join(10)
+            server.server_close()
+            obs.disable()
+
+
+class TestDebugLineage:
+    def test_disabled_summary(self, plane):
+        status, _, text = _get(plane.url + "/debug/lineage")
+        assert status == 200
+        assert json.loads(text) == {"enabled": False}
+
+    def test_enabled_summary(self, lineage_plane):
+        _get(lineage_plane.url + "/")  # pages join as they are served
+        _, _, text = _get(lineage_plane.url + "/debug/lineage")
+        doc = json.loads(text)
+        assert doc["enabled"] is True
+        assert doc["nodes"] > 0 and doc["pages"] > 0
+        assert doc["max_age_seconds"] == 3600.0
+        assert "source_records" in doc
+
+    def test_served_page_resolves(self, lineage_plane):
+        _get(lineage_plane.url + "/")
+        _, _, text = _get(lineage_plane.url +
+                          "/debug/lineage?page=RootPage__.html")
+        doc = json.loads(text)
+        assert doc["derivation"]["fn"] == "RootPage"
+        assert doc["template"] == "RootPage"
+        assert doc["url"] == "RootPage__.html"
+
+    def test_unvisited_page_materialized_on_demand(self, lineage_plane):
+        # Click-time pages that no visitor has requested yet are
+        # resolved and materialized by the endpoint itself.
+        _, _, text = _get(lineage_plane.url +
+                          "/debug/lineage?page=YearPage_1997_.html")
+        doc = json.loads(text)
+        assert doc["derivation"]["fn"] == "YearPage"
+
+    def test_unknown_page_404(self, lineage_plane):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(lineage_plane.url + "/debug/lineage?page=nope.html")
+        assert err.value.code == 404
+
+    def test_metrics_carry_freshness_gauges(self, lineage_plane):
+        _, _, text = _get(lineage_plane.url + "/metrics")
+        names = {n for n, _, _ in obs.parse_prometheus(text)["samples"]}
+        assert "strudel_lineage_sources" in names, sorted(
+            n for n in names if "lineage" in n)
+        assert "strudel_lineage_pages_stale_total" in names
+
+    def test_snapshot_document_includes_lineage(self, lineage_plane,
+                                                tmp_path):
+        paths = lineage_plane.write_snapshot(str(tmp_path / "snap"))
+        document = json.loads(
+            open(paths["snapshot"], encoding="utf-8").read())
+        assert document["lineage"]["enabled"] is True
+        assert "sources" in document

@@ -252,3 +252,67 @@ class TestQueriesPage:
         site.generate(str(out))
         page = (out / "QueriesPage__.html").read_text()
         assert "No queries observed" in page
+
+
+class TestFreshnessPage:
+    """PR 8: the dashboard's source-freshness section."""
+
+    def _stamp(self, name="feed.json"):
+        from repro.mediator.sources import record_fetch
+        record_fetch(name, "graph-json", "cafe1234", nodes=7, edges=9)
+
+    def test_sources_collection_from_fetch_stamps(self):
+        from repro.graph import Atom
+        self._stamp()
+        graph = telemetry_graph(obs.TraceRecorder())
+        assert graph.has_collection("Sources")
+        rows = graph.collection("Sources")
+        # The stamp store is process-global, so other tests may have
+        # contributed rows too — ours must be among them.
+        row = next(oid for oid in rows
+                   if graph.get(oid, "name") ==
+                   [Atom.string("feed.json")])
+        assert graph.get(row, "kind") == [Atom.string("graph-json")]
+        assert graph.get(row, "hash") == [Atom.string("cafe1234")]
+        assert graph.get(row, "nodes") == [Atom.int(7)]
+        assert graph.get(row, "edges") == [Atom.int(9)]
+        summary = graph.collection("Summary")[0]
+        assert int(graph.get_one(summary, "sources").value) >= 1
+
+    def test_freshness_page_rendered(self, tmp_path):
+        self._stamp()
+        site = build_monitor_site(obs.TraceRecorder())
+        out = tmp_path / "dash"
+        out.mkdir()
+        site.generate(str(out))
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "FreshnessPage__.html" in dashboard
+        assert "tracked sources" in dashboard
+        page = (out / "FreshnessPage__.html").read_text()
+        assert "feed.json" in page and "graph-json" in page
+
+    def test_stale_pages_counted_with_lineage(self):
+        import time
+
+        from repro.graph import Atom, Graph
+        from repro.obs.lineage import SourceRecord, lineage_recording
+        now = time.time()
+        with lineage_recording() as lineage:
+            lineage.record_source(SourceRecord(
+                source="old-src", kind="loader", fetched_at=now - 5000,
+                content_hash="ff", nodes=1, edges=0))
+            old_page = Oid.skolem("OldPage", (Oid("o1"),))
+            lineage.record_node(old_page, "OldPage",
+                                old_page.skolem_args)
+            data = Graph("O")
+            data.add_node(Oid("o1"))
+            lineage.record_source_nodes("old-src", data)
+            lineage.record_page("old.html", old_page, "T")
+            graph = telemetry_graph(obs.TraceRecorder(), max_age=600.0)
+            summary = graph.collection("Summary")[0]
+            assert graph.get(summary, "stale_pages") == [Atom.int(1)]
+            # The lineage source record surfaces as a Sources row even
+            # without a mediator fetch stamp.
+            rows = graph.collection("Sources")
+            assert any(graph.get(r, "name") ==
+                       [Atom.string("old-src")] for r in rows)
