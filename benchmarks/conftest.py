@@ -37,6 +37,8 @@ CORE_SPAN_METRICS = {
     "site_rebuild_p50_s": "site.build_warm",
     "lineage_off_p50_s": "site.build_lineage_off",
     "lineage_on_p50_s": "site.build_lineage_on",
+    "slo_off_p50_s": "site.build_slo_off",
+    "slo_on_p50_s": "site.build_slo_on",
 }
 
 #: Stable metric name -> the histogram whose p50 defines it.
@@ -70,6 +72,12 @@ def _core_document(recorder: obs.TraceRecorder) -> dict:
     on = metrics.get("lineage_on_p50_s", 0.0)
     if off:
         metrics["lineage_overhead_pct"] = round((on - off) / off * 100, 2)
+    # A8 rider: windowed SLO sampling overhead (acceptance: under 5%).
+    slo_off = metrics.get("slo_off_p50_s", 0.0)
+    slo_on = metrics.get("slo_on_p50_s", 0.0)
+    if slo_off:
+        metrics["slo_overhead_pct"] = round(
+            (slo_on - slo_off) / slo_off * 100, 2)
     return {"bench": "core", "schema": 1, "metrics": metrics}
 
 

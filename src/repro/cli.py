@@ -21,6 +21,8 @@ without writing Python:
     $ python -m repro why PersonPage_p1_.html --data pubs.bib \\
           --query site.struql --templates templates/
     $ python -m repro bench compare OLD.json NEW.json
+    $ python -m repro slo check serve-snapshot/snapshot.json \\
+          [--config slo.toml] [--window 3600]
 
 Data files are wrapped by extension:
 
@@ -47,6 +49,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import math
 import os
 import sys
 
@@ -526,9 +529,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     time while ``/metrics``, ``/healthz``, ``/readyz`` and the
     ``/debug/*`` endpoints expose the live telemetry.  The socket is
     bound (and ``/healthz`` answers) before the data graph loads;
-    ``/readyz`` flips to 200 once the site query is warmed.  SIGINT or
+    ``/readyz`` flips to 200 once the site query is warmed.  A
+    :class:`~repro.obs.slo.CanaryProber` then exercises a known page
+    every ``--canary-interval`` seconds and each probe ticks the SLO
+    evaluator (objectives from ``--slo-config`` or the stock set), so
+    burn-rate alerts fire with zero organic traffic.  SIGINT or
     SIGTERM drain in-flight requests and flush a final metrics/events
-    snapshot to ``--snapshot-dir``.
+    snapshot (including alert state) to ``--snapshot-dir``.
     """
     from repro.obs.http import TelemetryHTTPServer, serving_recorder
     from repro.site.server import DynamicSiteServer
@@ -550,6 +557,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     from repro.obs.lineage import disable_lineage, enable_lineage
+    from repro.obs.slo import (CanaryProber, SLOConfig, SLOEvaluator,
+                               load_slo_config, set_slo_evaluator)
+    try:
+        slo_config = (load_slo_config(args.slo_config)
+                      if args.slo_config else SLOConfig())
+    except (OSError, ValueError) as exc:
+        print(f"error: bad --slo-config: {exc}", file=sys.stderr)
+        return 2
     recorder = obs.enable(serving_recorder())
     enable_lineage()  # serve is the lineage plane's natural home
     try:
@@ -562,10 +577,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         disable_lineage()
         obs.disable()
         return 1
+    evaluator = SLOEvaluator(recorder, slos=slo_config.slos,
+                             step=slo_config.step_s,
+                             for_ticks=slo_config.for_ticks,
+                             clear_ticks=slo_config.clear_ticks)
+    plane.slo_evaluator = evaluator
+    set_slo_evaluator(evaluator)
     print(f"serving on http://{args.host}:{plane.port}", flush=True)
     print("telemetry: /metrics /healthz /readyz /debug/traces "
           "/debug/events /debug/profile /debug/queries "
-          "/debug/lineage", flush=True)
+          "/debug/lineage /debug/slo /debug/alerts", flush=True)
     thread = plane.start_background()
     plane.install_signal_handlers()
     try:
@@ -579,6 +600,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         plane.mount(site_server)
         roots = site_server.warm()
         plane.set_ready()
+        interval = (slo_config.canary_interval_s
+                    if args.canary_interval is None
+                    else args.canary_interval)
+        if interval > 0:
+            # Each probe ends by ticking the evaluator, so alerting
+            # works with zero organic traffic.
+            canary = CanaryProber(site_server, recorder,
+                                  interval=interval,
+                                  evaluator=evaluator)
+            plane.canary = canary
+            canary.start()
+            print(f"canary: probing every {interval:g}s "
+                  f"({len(evaluator.slos)} SLOs)", flush=True)
+        else:
+            canary = None
+            evaluator.start_background()
+            print(f"canary: disabled (SLOs evaluated every "
+                  f"{evaluator.series.step:g}s)", flush=True)
         print(f"ready: {roots} root page(s) over {data.node_count} "
               "objects", flush=True)
     except (StrudelError, OSError) as exc:
@@ -587,6 +626,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         while thread.is_alive():
             thread.join(0.2)
         plane.server_close()
+        set_slo_evaluator(None)
         disable_lineage()
         obs.disable()
         return 1
@@ -594,12 +634,167 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # thread while the accept loop owns the background thread.
     while thread.is_alive():
         thread.join(0.2)
+    if canary is not None:
+        canary.stop()
+    evaluator.stop()
+    evaluator.evaluate()  # one last judgement for the snapshot
     plane.server_close()  # drains in-flight handler threads
     plane.write_snapshot(args.snapshot_dir)
     print(f"shutdown: final snapshot in {args.snapshot_dir}",
           flush=True)
+    set_slo_evaluator(None)
     disable_lineage()
     obs.disable()
+    return 0
+
+
+def _slo_document_from_prometheus(text: str, slos) -> dict:
+    """Reconstruct a cumulative metrics document from a Prometheus
+    dump, keyed back to the SLOs' flat metric names.
+
+    Only the metrics the objectives actually read are recovered:
+    counters from ``<name>_total`` samples, histograms from their
+    ``_bucket``/``_count``/``_sum`` families.
+    """
+    from repro.obs.promexport import parse_prometheus, sanitize_name
+    parsed = parse_prometheus(text)
+    flat: dict[str, float] = {}
+    bucket_families: dict[str, list] = {}
+    for name, labels, value in parsed["samples"]:
+        if name.endswith("_bucket") and "le" in labels:
+            bucket_families.setdefault(
+                name[: -len("_bucket")], []).append(
+                    (labels["le"], value))
+        else:
+            flat[name] = value
+    wanted = set()
+    for slo in slos:
+        for metric in (slo.total_metric, slo.bad_metric,
+                       slo.latency_metric):
+            if metric:
+                wanted.add(metric)
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for metric in wanted:
+        base = sanitize_name(metric)
+        if f"{base}_total" in flat:
+            counters[metric] = flat[f"{base}_total"]
+        elif base in flat:
+            counters[metric] = flat[base]
+        family = bucket_families.get(base)
+        if family:
+            pairs = sorted(
+                ((math.inf if le == "+Inf" else float(le), value)
+                 for le, value in family),
+                key=lambda pair: pair[0])
+            histograms[metric] = {
+                "count": int(flat.get(f"{base}_count",
+                                      pairs[-1][1])),
+                "sum": flat.get(f"{base}_sum", 0.0),
+                "buckets": [
+                    ["+Inf" if math.isinf(bound) else bound, value]
+                    for bound, value in pairs],
+            }
+    return {"counters": counters, "gauges": {},
+            "histograms": histograms}
+
+
+def cmd_slo_check(args: argparse.Namespace) -> int:
+    """Judge service-level objectives against a telemetry dump.
+
+    ``DUMP`` is autodetected: a ``snapshot.json`` written on graceful
+    drain (gates on the alert/violation state the server recorded), an
+    observability JSON export (``repro trace --metrics-out``; the
+    cumulative run is treated as one ``--window`` seconds long), or a
+    ``metrics.prom`` Prometheus exposition.  Exit 0 when every
+    objective holds, 1 on any violation or firing alert, 2 on
+    unreadable input — the CI gate for "did the run meet its SLOs".
+    """
+    from repro.obs.slo import (check_document, default_slos,
+                               load_slo_config)
+    try:
+        with open(args.dump, encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        slos = (load_slo_config(args.config).slos
+                if args.config else default_slos())
+    except (OSError, ValueError) as exc:
+        print(f"error: bad --config: {exc}", file=sys.stderr)
+        return 2
+    document = None
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError:
+        pass
+    if document is not None and not isinstance(document, dict):
+        print(f"error: {args.dump}: expected a JSON object",
+              file=sys.stderr)
+        return 2
+    if document is not None and "slo" in document:
+        return _check_snapshot(document, args.dump)
+    if document is not None:
+        metrics = document.get("metrics", document)
+        if not isinstance(metrics, dict) or not (
+                "counters" in metrics or "histograms" in metrics):
+            print(f"error: {args.dump}: neither a snapshot.json nor "
+                  "a metrics export", file=sys.stderr)
+            return 2
+    else:
+        metrics = _slo_document_from_prometheus(raw, slos)
+        if not metrics["counters"] and not metrics["histograms"]:
+            print(f"error: {args.dump}: no SLO-relevant Prometheus "
+                  "samples found", file=sys.stderr)
+            return 2
+    status = check_document(slos, metrics, window_s=args.window)
+    return _report_slo_status(status)
+
+
+def _check_snapshot(document: dict, path: str) -> int:
+    """Gate on the judgement state a draining server wrote."""
+    slo_state = document.get("slo")
+    if not slo_state:
+        print(f"{path}: server ran without SLO evaluation; "
+              "nothing to check")
+        return 0
+    firing = [alert for alert in slo_state.get("alerts", [])
+              if alert.get("state") == "firing"]
+    violated = [entry for entry in slo_state.get("slos", [])
+                if entry.get("violated")]
+    for entry in slo_state.get("slos", []):
+        burn = entry.get("burn_rate")
+        burn_text = "no data" if burn is None else f"burn {burn:.2f}x"
+        flag = "VIOLATED" if entry.get("violated") else "ok"
+        print(f"{flag:>8}  {entry['name']}: {entry['objective']} "
+              f"({burn_text})")
+    for alert in firing:
+        print(f"  FIRING  {alert['name']} "
+              f"(long {alert.get('long_burn')}x / "
+              f"short {alert.get('short_burn')}x, "
+              f"threshold {alert.get('factor')}x)")
+    if firing or violated:
+        print(f"slo check: FAIL ({len(violated)} violated, "
+              f"{len(firing)} firing)")
+        return 1
+    print("slo check: ok")
+    return 0
+
+
+def _report_slo_status(status: list[dict]) -> int:
+    """Print one line per objective; exit 1 when any is violated."""
+    violated = [entry for entry in status if entry["violated"]]
+    for entry in status:
+        burn = entry.get("burn_rate")
+        burn_text = "no data" if burn is None else f"burn {burn:.2f}x"
+        flag = "VIOLATED" if entry["violated"] else "ok"
+        print(f"{flag:>8}  {entry['name']}: {entry['objective']} "
+              f"({burn_text})")
+    if violated:
+        print(f"slo check: FAIL ({len(violated)} violated)")
+        return 1
+    print("slo check: ok")
     return 0
 
 
@@ -782,6 +977,14 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-age", type=float, default=None,
                        help="freshness threshold in seconds for "
                             "lineage.pages_stale_total on /metrics")
+    serve.add_argument("--slo-config", default=None,
+                       help="slo.toml defining objectives and alert "
+                            "knobs (default: the stock server+canary "
+                            "SLOs)")
+    serve.add_argument("--canary-interval", type=float, default=None,
+                       help="seconds between self-probes (default 5; "
+                            "0 disables the canary and evaluates "
+                            "SLOs on a timer instead)")
     serve.add_argument("rest", nargs=argparse.REMAINDER,
                        help="build arguments naming the site, e.g. "
                             "build --data ... --query ... --templates ...")
@@ -798,6 +1001,24 @@ def make_parser() -> argparse.ArgumentParser:
                          help="fail when a p50 metric grows more than "
                               "this percentage (default 25)")
     compare.set_defaults(fn=cmd_bench_compare)
+
+    slo = sub.add_parser("slo", help="service-level-objective tools")
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check",
+        help="judge SLOs against a snapshot/metrics dump; "
+             "exit 1 on violation")
+    slo_check.add_argument(
+        "dump",
+        help="snapshot.json, an obs JSON export, or metrics.prom")
+    slo_check.add_argument(
+        "--config", default=None,
+        help="slo.toml naming the objectives (default: stock SLOs)")
+    slo_check.add_argument(
+        "--window", type=float, default=3600.0,
+        help="window in seconds a cumulative metrics dump is judged "
+             "over (default 3600; ignored for snapshot.json)")
+    slo_check.set_defaults(fn=cmd_slo_check)
     return parser
 
 

@@ -13,8 +13,11 @@ fail on a slowdown instead of silently recording it:
 A metric *regresses* when its new p50 exceeds the old by more than the
 threshold percentage.  Metrics present on only one side are reported
 but do not gate (coverage changes are a review concern, not a perf
-gate); zero-valued baselines cannot express a percentage and are
-skipped the same way.
+gate).  A metric whose ``*_count`` companion is zero on either side
+never ran there — its recorded 0.0 is absence, not a measurement — so
+it is listed as skipped rather than compared against; zero-valued
+baselines that lack a count companion are likewise not gateable (no
+percentage exists over 0).
 """
 
 from __future__ import annotations
@@ -56,6 +59,9 @@ class BenchComparison:
     deltas: list[MetricDelta] = field(default_factory=list)
     only_old: list[str] = field(default_factory=list)
     only_new: list[str] = field(default_factory=list)
+    #: Metrics whose ``*_count`` companion was 0 on either side — the
+    #: benchmark never ran there, so there is nothing to compare.
+    skipped: list[str] = field(default_factory=list)
     max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT
 
     @property
@@ -87,6 +93,9 @@ class BenchComparison:
             lines.append(f"{name}: missing from NEW (not gated)")
         for name in self.only_new:
             lines.append(f"{name}: new metric (not gated)")
+        for name in self.skipped:
+            lines.append(f"{name}: never ran on one side "
+                         "(count 0; not gated)")
         if not lines:
             lines.append("no comparable metrics")
         verdict = "ok" if self.ok else (
@@ -104,15 +113,25 @@ def compare_documents(old: dict, new: dict,
     new_metrics = _p50_metrics(new)
     comparison = BenchComparison(max_regress_pct=max_regress_pct)
     for name in old_metrics:
-        if name in new_metrics:
+        if name not in new_metrics:
+            comparison.only_old.append(name)
+        elif _count_is_zero(old, name) or _count_is_zero(new, name):
+            comparison.skipped.append(name)
+        else:
             comparison.deltas.append(MetricDelta(
                 name, float(old_metrics[name]),
                 float(new_metrics[name])))
-        else:
-            comparison.only_old.append(name)
     comparison.only_new = [name for name in new_metrics
                            if name not in old_metrics]
     return comparison
+
+
+def _count_is_zero(document: dict, p50_name: str) -> bool:
+    """Whether ``p50_name``'s ``*_count`` companion says the benchmark
+    never ran in ``document`` (a present companion equal to 0)."""
+    count_name = p50_name.replace(P50_SUFFIX, "_count")
+    count = document.get("metrics", {}).get(count_name)
+    return isinstance(count, (int, float)) and count == 0
 
 
 def load_document(path: str) -> dict:

@@ -29,6 +29,12 @@ answers two kinds of traffic on one port:
                   counts, p50/p95 latency, rows, last plan
   ``/debug/lineage``  provenance: the backward derivation tree for
                   ``?page=<url|oid>``, or an index summary without it
+  ``/debug/slo``  every service-level objective with its windowed
+                  compliance, burn rate and remaining error budget
+  ``/debug/alerts``   the burn-rate alert rules and their
+                  pending/firing state (plus the canary's stats)
+  ``/debug/``     an index of the debug endpoints above (text, or
+                  JSON with ``?format=json``)
   ============== =====================================================
 
 Every request gets a ``req-N`` id stamped into its span attributes,
@@ -56,6 +62,7 @@ from repro.obs.export import span_to_dict
 from repro.obs.lineage import get_lineage, update_freshness_gauges
 from repro.obs.promexport import to_prometheus, write_prometheus
 from repro.obs.queries import get_query_registry
+from repro.obs.slo import get_slo_evaluator
 from repro.obs.trace import (
     NullRecorder,
     TailSampler,
@@ -85,6 +92,24 @@ DEBUG_EVENT_LIMIT = 200
 #: Default number of fingerprints ``/debug/queries`` returns, slowest
 #: (by p95) first (override with ``?limit=N``).
 DEBUG_QUERY_LIMIT = 50
+
+#: The discoverable debug surface: path -> one-line description.
+#: ``/debug/`` renders this as an index, and unknown ``/debug/*``
+#: paths list it in their 404 body.
+DEBUG_ENDPOINTS: dict[str, str] = {
+    "/debug/traces": ("tail-sampled recent / slowest / error traces "
+                      "(?depth=N)"),
+    "/debug/events": ("recent structured events "
+                      "(?level=&name=&limit=N)"),
+    "/debug/profile": "per-stage hotspot profile (?limit=N)",
+    "/debug/queries": ("query plan registry: counts, p50/p95, "
+                       "last plan (?limit=N)"),
+    "/debug/lineage": ("page provenance (?page=<url|oid>), or a "
+                       "source-freshness summary"),
+    "/debug/slo": ("service-level objectives: compliance, burn rate, "
+                   "error budget"),
+    "/debug/alerts": "burn-rate alert rules and their firing state",
+}
 
 
 def serving_recorder(name: str = "serve") -> TraceRecorder:
@@ -142,6 +167,12 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         #: contributing source is older count into
         #: ``lineage.pages_stale_total`` on each ``/metrics`` scrape.
         self.max_age = max_age
+        #: The SLO evaluator surfaced at ``/debug/slo`` and
+        #: ``/debug/alerts`` (falls back to the process-global one).
+        self.slo_evaluator = None
+        #: The canary prober, if ``repro serve`` started one — its
+        #: stats join the ``/debug/alerts`` payload.
+        self.canary = None
         self.started = time.time()
         self.tail: TailSampler | None = getattr(recorder, "tail", None)
         if self.tail is None and recorder.enabled:
@@ -209,8 +240,9 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
 
         Writes ``metrics.prom`` (Prometheus exposition),
         ``events.jsonl`` (the event ring) and ``snapshot.json`` (server
-        log, hotspot profile, tail-sampled trace summaries, uptime);
-        returns ``{name: path}`` for what was written.
+        log, hotspot profile, tail-sampled trace summaries, SLO and
+        alert state, uptime); returns ``{name: path}`` for what was
+        written.
         """
         os.makedirs(directory, exist_ok=True)
         paths = {
@@ -241,10 +273,22 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             # hit/miss totals reconcile with pages_computed.
             "site_cache": (cache_snapshot()
                            if callable(cache_snapshot) else None),
+            # Objective judgements and alert state at drain time, so
+            # `repro slo check snapshot.json` can gate on the run.
+            "slo": self._slo_snapshot(),
         }
         with open(paths["snapshot"], "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         return paths
+
+    def _slo_snapshot(self) -> dict | None:
+        evaluator = self._slo()
+        if evaluator is None:
+            return None
+        document = evaluator.snapshot()
+        if self.canary is not None:
+            document["canary"] = self.canary.as_dict()
+        return document
 
     # -- request handling ----------------------------------------------------
 
@@ -293,10 +337,34 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             print(f'{request_id} "{method} {path}" {status} '
                   f"{seconds * 1000:.1f}ms", file=sys.stderr)
 
+    def _slo(self):
+        """The evaluator to surface: the mounted one, else the global."""
+        return self.slo_evaluator or get_slo_evaluator()
+
+    def _healthz_body(self) -> str:
+        """Liveness with something worth logging: uptime, version, and
+        the worst-burning SLO (probes keep the first line ``ok``)."""
+        from repro import __version__
+        lines = [
+            "ok",
+            f"uptime_seconds: {time.time() - self.started:.1f}",
+            f"version: {__version__}",
+        ]
+        evaluator = self._slo()
+        worst = evaluator.worst() if evaluator is not None else None
+        if evaluator is None:
+            lines.append("slo: disabled")
+        elif worst is None:
+            lines.append("slo: no data yet")
+        else:
+            name, burn = worst
+            lines.append(f"slo: worst burn {name} at {burn:.2f}x")
+        return "\n".join(lines) + "\n"
+
     def _route(self, path: str, query: dict,
                request_id: str) -> tuple[int, str, str]:
         if path == "/healthz":
-            return 200, CONTENT_TEXT, "ok\n"
+            return 200, CONTENT_TEXT, self._healthz_body()
         if path == "/readyz":
             if self.ready:
                 return 200, CONTENT_TEXT, "ready\n"
@@ -325,9 +393,57 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
                 get_query_registry().snapshot(limit=limit), indent=2)
         if path == "/debug/lineage":
             return self._lineage_route(query)
+        if path == "/debug/slo":
+            return self._slo_route()
+        if path == "/debug/alerts":
+            return self._alerts_route()
+        if path in ("/debug", "/debug/"):
+            return self._debug_index(query)
         if path.startswith("/debug/"):
-            return 404, CONTENT_TEXT, f"no such debug endpoint: {path}\n"
+            available = " ".join(sorted(DEBUG_ENDPOINTS))
+            return 404, CONTENT_TEXT, (
+                f"no such debug endpoint: {path}\n"
+                f"available: {available}\n")
         return self._page(path, request_id)
+
+    def _debug_index(self, query: dict) -> tuple[int, str, str]:
+        """``/debug/``: what the debug surface offers."""
+        if query.get("format", [None])[0] == "json":
+            return 200, CONTENT_JSON, json.dumps(
+                {"endpoints": DEBUG_ENDPOINTS}, indent=2)
+        width = max(len(path) for path in DEBUG_ENDPOINTS)
+        lines = [f"{path:<{width}}  {blurb}"
+                 for path, blurb in sorted(DEBUG_ENDPOINTS.items())]
+        return 200, CONTENT_TEXT, "\n".join(lines) + "\n"
+
+    def _slo_route(self) -> tuple[int, str, str]:
+        evaluator = self._slo()
+        if evaluator is None:
+            return 200, CONTENT_JSON, json.dumps(
+                {"enabled": False}, indent=2)
+        snapshot = evaluator.snapshot()
+        return 200, CONTENT_JSON, json.dumps({
+            "enabled": True,
+            "ticks": snapshot["ticks"],
+            "step_s": snapshot["step_s"],
+            "coverage_s": snapshot["coverage_s"],
+            "slos": snapshot["slos"],
+        }, indent=2)
+
+    def _alerts_route(self) -> tuple[int, str, str]:
+        evaluator = self._slo()
+        if evaluator is None:
+            return 200, CONTENT_JSON, json.dumps(
+                {"enabled": False}, indent=2)
+        snapshot = evaluator.snapshot()
+        document = {
+            "enabled": True,
+            "firing": snapshot["firing"],
+            "alerts": snapshot["alerts"],
+        }
+        if self.canary is not None:
+            document["canary"] = self.canary.as_dict()
+        return 200, CONTENT_JSON, json.dumps(document, indent=2)
 
     def _lineage_route(self, query: dict) -> tuple[int, str, str]:
         """``/debug/lineage``: a why-tree for ``?page=``, else a summary."""

@@ -15,6 +15,12 @@ A :class:`MetricsRegistry` names and owns instruments; the null variants
 at the bottom back the disabled global recorder so instrumented hot
 paths cost a no-op method call when observability is off.  All mutating
 paths are thread-safe.
+
+:class:`WindowedSeries` is the time dimension the cumulative
+instruments lack: it samples a registry into aligned ring-buffer
+buckets so "requests per second over the last 5 minutes" and
+"p99 latency over the last hour" become answerable — the substrate the
+SLO / burn-rate layer (:mod:`repro.obs.slo`) evaluates against.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from __future__ import annotations
 import bisect
 import math
 import threading
+import time
+from collections import deque
 
 #: Default bucket upper bounds, in seconds: 100 µs .. 10 s, roughly
 #: geometric — sized for per-request / per-block latencies.
@@ -243,6 +251,304 @@ class MetricsRegistry:
                 "histograms": {n: h.summary()
                                for n, h in sorted(self._histograms.items())},
             }
+
+
+# -- windowed time series ------------------------------------------------------
+
+
+#: Default sampling step for :class:`WindowedSeries`, in seconds.
+DEFAULT_WINDOW_STEP = 5.0
+
+#: Default retention for :class:`WindowedSeries`: long enough to cover
+#: the slow 6 h burn-rate window plus one spare step.
+DEFAULT_WINDOW_RETENTION = 6 * 3600.0 + DEFAULT_WINDOW_STEP
+
+
+class _HistSample:
+    """One histogram's cumulative state at a sample instant."""
+
+    __slots__ = ("bounds", "cumulative", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...],
+                 cumulative: tuple[float, ...], count: int,
+                 total: float) -> None:
+        self.bounds = bounds          # finite upper bounds, ascending
+        self.cumulative = cumulative  # one entry per bound + the +Inf one
+        self.count = count
+        self.total = total
+
+
+class _Sample:
+    """Cumulative values of every registered instrument at one instant."""
+
+    __slots__ = ("ts", "counters", "gauges", "histograms")
+
+    def __init__(self, ts: float, counters: dict, gauges: dict,
+                 histograms: dict) -> None:
+        self.ts = ts
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+
+class WindowedSeries:
+    """Aligned ring-buffer sampling of a registry's cumulative state.
+
+    Counters, gauges and histograms are *cumulative since start*; a
+    :class:`WindowedSeries` adds the time dimension by snapshotting the
+    whole registry into buckets aligned to ``step``-second boundaries,
+    keeping at most ``retention / step`` of them (O(windows) memory
+    however long the process runs).  Windowed queries then difference
+    two samples:
+
+    * :meth:`increase` — how much a counter (or a histogram's count)
+      grew over the last ``window`` seconds;
+    * :meth:`rate` — that increase per second;
+    * :meth:`quantile` — a histogram quantile computed over only the
+      observations that arrived inside the window;
+    * :meth:`fraction_below` — the share of windowed observations at or
+      under a latency threshold (the latency-SLO primitive).
+
+    A window that reaches past the oldest retained sample is clipped to
+    the data actually available (a freshly started server answers
+    "error rate over the last hour" with "over its whole lifetime so
+    far", the useful degradation for burn-rate alerting); queries over
+    fewer than two samples return ``None`` ("no data" — distinct from a
+    healthy zero).  Counter resets (a registry ``reset()``) are handled
+    Prometheus-style: a negative delta is read as a restart and the
+    newer cumulative value is used.  All paths are lock-guarded like
+    the instruments themselves.
+    """
+
+    def __init__(self, registry: "MetricsRegistry",
+                 step: float = DEFAULT_WINDOW_STEP,
+                 retention: float = DEFAULT_WINDOW_RETENTION) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive: {step}")
+        if retention < step:
+            raise ValueError("retention shorter than one step")
+        self.registry = registry
+        self.step = float(step)
+        self.retention = float(retention)
+        self._samples: deque[_Sample] = deque(
+            maxlen=int(retention / step) + 1)
+        self._lock = threading.Lock()
+
+    # -- sampling --------------------------------------------------------------
+
+    @staticmethod
+    def _snapshot_histograms(histograms: dict) -> dict:
+        out: dict[str, _HistSample] = {}
+        for name, summary in histograms.items():
+            pairs = summary.get("buckets") or []
+            bounds = tuple(float(bound) for bound, _ in pairs
+                           if bound != "+Inf"
+                           and not (isinstance(bound, float)
+                                    and math.isinf(bound)))
+            cumulative = tuple(float(count) for _, count in pairs)
+            out[name] = _HistSample(bounds, cumulative,
+                                    int(summary.get("count", 0)),
+                                    float(summary.get("sum", 0.0)))
+        return out
+
+    def sample(self, now: float | None = None) -> float:
+        """Snapshot the registry into the bucket containing ``now``.
+
+        Buckets are aligned to ``step`` boundaries; a second sample
+        landing in the same bucket replaces the first (latest data
+        wins), so callers may sample faster than ``step`` without
+        growing the ring.  Returns the aligned bucket timestamp.
+        """
+        if now is None:
+            now = time.time()
+        document = self.registry.as_dict()
+        aligned = math.floor(now / self.step) * self.step
+        snapshot = _Sample(
+            aligned,
+            dict(document.get("counters", {})),
+            dict(document.get("gauges", {})),
+            self._snapshot_histograms(document.get("histograms", {})))
+        with self._lock:
+            if self._samples and self._samples[-1].ts >= aligned:
+                self._samples[-1] = snapshot
+            else:
+                self._samples.append(snapshot)
+        return aligned
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def coverage(self) -> float:
+        """Seconds of history currently retained (0 when < 2 samples)."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return 0.0
+            return self._samples[-1].ts - self._samples[0].ts
+
+    def clear(self) -> None:
+        """Forget every retained sample."""
+        with self._lock:
+            self._samples.clear()
+
+    def _bounding(self, window: float) -> tuple[_Sample, _Sample] | None:
+        """The (start, end) samples spanning the last ``window`` seconds
+        (clipped to available history); ``None`` under two samples."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return None
+            end = self._samples[-1]
+            cutoff = end.ts - window
+            start = self._samples[0]
+            for candidate in self._samples:
+                if candidate.ts <= cutoff:
+                    start = candidate
+                else:
+                    break
+            if start.ts >= end.ts:
+                return None
+            return start, end
+
+    # -- windowed queries ------------------------------------------------------
+
+    @staticmethod
+    def _delta(old: float | None, new: float | None) -> float | None:
+        if new is None:
+            return None
+        if old is None or new < old:  # appeared, or counter reset
+            return new
+        return new - old
+
+    def increase(self, name: str, window: float) -> float | None:
+        """How much counter ``name`` (or histogram ``name``'s count)
+        grew over the last ``window`` seconds; ``None`` without data."""
+        bounding = self._bounding(window)
+        if bounding is None:
+            return None
+        start, end = bounding
+        if name in end.counters:
+            return self._delta(start.counters.get(name),
+                               end.counters[name])
+        hist = end.histograms.get(name)
+        if hist is not None:
+            old = start.histograms.get(name)
+            return self._delta(old.count if old else None, hist.count)
+        return None
+
+    def rate(self, name: str, window: float) -> float | None:
+        """Per-second :meth:`increase` over the (clipped) window."""
+        bounding = self._bounding(window)
+        if bounding is None:
+            return None
+        amount = self.increase(name, window)
+        if amount is None:
+            return None
+        start, end = bounding
+        return amount / (end.ts - start.ts)
+
+    def _bucket_deltas(self, name: str, window: float
+                       ) -> tuple[tuple[float, ...], list[float]] | None:
+        """``(bounds, per-bucket cumulative deltas)`` for histogram
+        ``name`` over the window, reset-aware; ``None`` without data."""
+        bounding = self._bounding(window)
+        if bounding is None:
+            return None
+        start, end = bounding
+        new = end.histograms.get(name)
+        if new is None or not new.cumulative:
+            return None
+        old = start.histograms.get(name)
+        if old is None or old.count > new.count \
+                or len(old.cumulative) != len(new.cumulative):
+            # Histogram appeared mid-window or was reset: the newer
+            # cumulative state *is* the windowed state.
+            return new.bounds, list(new.cumulative)
+        deltas = [max(n - o, 0.0) for o, n
+                  in zip(old.cumulative, new.cumulative)]
+        return new.bounds, deltas
+
+    def fraction_below(self, name: str, threshold: float,
+                       window: float) -> tuple[float, float] | None:
+        """``(observations <= threshold, total observations)`` for
+        histogram ``name`` over the window, interpolating inside the
+        bucket that contains ``threshold``; ``None`` without data."""
+        buckets = self._bucket_deltas(name, window)
+        if buckets is None:
+            return None
+        bounds, deltas = buckets
+        total = deltas[-1] if deltas else 0.0
+        if threshold <= 0 or not bounds:
+            return 0.0, total
+        if threshold >= bounds[-1]:
+            return total, total
+        i = bisect.bisect_left(bounds, threshold)
+        below = deltas[i - 1] if i > 0 else 0.0
+        in_bucket = max(deltas[i] - below, 0.0)
+        lower = bounds[i - 1] if i > 0 else 0.0
+        span = bounds[i] - lower
+        fraction = (threshold - lower) / span if span > 0 else 1.0
+        return below + fraction * in_bucket, total
+
+    def quantile(self, name: str, q: float,
+                 window: float) -> float | None:
+        """The ``q``-quantile of histogram ``name`` over the window.
+
+        Prometheus ``histogram_quantile`` semantics: linear
+        interpolation inside the winning bucket, with the overflow
+        bucket answering the last finite bound (the true maximum is
+        unknowable from buckets alone).  ``None`` without data or when
+        no observation landed in the window.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        buckets = self._bucket_deltas(name, window)
+        if buckets is None:
+            return None
+        bounds, deltas = buckets
+        total = deltas[-1] if deltas else 0.0
+        if total <= 0 or not bounds:
+            return None
+        rank = q * total
+        previous = 0.0
+        for i, cumulative in enumerate(deltas):
+            if cumulative >= rank and cumulative > previous:
+                if i >= len(bounds):  # the +Inf bucket
+                    return bounds[-1]
+                lower = bounds[i - 1] if i > 0 else 0.0
+                fraction = (rank - previous) / (cumulative - previous)
+                return lower + fraction * (bounds[i] - lower)
+            previous = cumulative
+        return bounds[-1]
+
+    def gauge_last(self, name: str) -> float | None:
+        """Gauge ``name``'s value at the newest sample, if any."""
+        with self._lock:
+            if not self._samples:
+                return None
+            return self._samples[-1].gauges.get(name)
+
+    @classmethod
+    def from_document(cls, document: dict,
+                      window: float) -> "WindowedSeries":
+        """A two-sample series built from an exported metrics document.
+
+        The series holds an empty state at ``t=0`` and ``document``'s
+        cumulative state at ``t=window``, so every windowed query
+        answers over the whole run the dump describes — how
+        ``repro slo check`` evaluates objectives offline.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        series = cls(NullMetricsRegistry(), step=float(window),
+                     retention=float(window) * 2)
+        end = _Sample(
+            float(window),
+            dict(document.get("counters", {})),
+            dict(document.get("gauges", {})),
+            cls._snapshot_histograms(document.get("histograms", {})))
+        series._samples.append(_Sample(0.0, {}, {}, {}))
+        series._samples.append(end)
+        return series
 
 
 # -- null instruments (the disabled fast path) --------------------------------

@@ -54,6 +54,25 @@ HELP_TEXT: dict[str, str] = {
     "lineage.pages_stale_total":
         "Pages whose newest contributing source is older than "
         "--max-age at the last freshness evaluation.",
+    "alerts_firing":
+        "Burn-rate alert rules currently in the firing state.",
+    "canary.probes": "End-to-end canary probes attempted.",
+    "canary.failures": "Canary probes that failed.",
+}
+
+#: Per-SLO gauges follow the flat-name convention
+#: ``slo.<facet>.<objective>``; these prefixes map them to shared HELP
+#: lines at exposition time (like the per-source freshness gauges).
+SLO_HELP_PREFIXES: dict[str, str] = {
+    "slo.compliance.":
+        "Good fraction of this objective over its rolling window "
+        "(target is the SLO's promise).",
+    "slo.burn_rate.":
+        "How fast this objective consumes error budget (1.0 = "
+        "exactly on target).",
+    "slo.budget_remaining.":
+        "Error budget left over the objective's window (negative "
+        "means the objective is being missed).",
 }
 
 #: Per-source freshness gauges follow the flat-name convention
@@ -162,6 +181,10 @@ def to_prometheus(metrics, prefix: str = DEFAULT_PREFIX,
             help_text = HELP_TEXT.get(name, SOURCE_AGE_HELP)
         else:
             help_text = HELP_TEXT.get(name, f"Gauge {name}.")
+            for slo_prefix, slo_help in SLO_HELP_PREFIXES.items():
+                if name.startswith(slo_prefix):
+                    help_text = slo_help
+                    break
         lines.append(f"# HELP {base} {escape_help(help_text)}")
         lines.append(f"# TYPE {base} gauge")
         lines.append(f"{base}{label_str} {_format_value(value)}")

@@ -41,7 +41,8 @@ MAX_QUERY_NODES = 50
 #: where clauses are well-formed even over an idle recorder).
 TELEMETRY_COLLECTIONS = (
     "Spans", "Traces", "Stages", "Counters", "Gauges", "Histograms",
-    "Events", "Requests", "Queries", "Sources", "Summary",
+    "Events", "Requests", "Queries", "Sources", "Slos", "Alerts",
+    "Summary",
 )
 
 
@@ -113,7 +114,7 @@ def _metric_nodes(graph: Graph, metrics: dict) -> None:
 #: (mirrored on the dashboard when a ``live_url`` is given).
 LIVE_ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/debug/traces",
                   "/debug/events", "/debug/profile", "/debug/queries",
-                  "/debug/lineage")
+                  "/debug/lineage", "/debug/slo", "/debug/alerts")
 
 
 def telemetry_graph(recorder: TraceRecorder | NullRecorder,
@@ -121,7 +122,8 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
                     max_spans: int = MAX_SPAN_NODES,
                     live_url: str | None = None,
                     queries=None,
-                    max_age: float | None = None) -> Graph:
+                    max_age: float | None = None,
+                    slo=None) -> Graph:
     """A recorder's telemetry as an ordinary STRUDEL data graph.
 
     ``server_log`` is an optional :class:`~repro.site.server.ServerLog`
@@ -137,7 +139,10 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     mediator's always-on fetch log, merged with the lineage index when
     recording is enabled) become the ``Sources`` collection; ``max_age``
     is the staleness threshold in seconds for the summary's
-    ``stale_pages`` count.
+    ``stale_pages`` count.  ``slo`` is an optional
+    :class:`~repro.obs.slo.SLOEvaluator` (or its ``snapshot()`` dict);
+    by default the process-global evaluator feeds the ``Slos`` and
+    ``Alerts`` collections behind the dashboard's Alerts page.
     """
     graph = Graph("TELEMETRY")
     for name in TELEMETRY_COLLECTIONS:
@@ -233,6 +238,54 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
         graph.add_edge(oid, "nodes", Atom.int(int(stamp.get("nodes", 0))))
         graph.add_edge(oid, "edges", Atom.int(int(stamp.get("edges", 0))))
 
+    from repro.obs.slo import get_slo_evaluator
+    if slo is None:
+        slo = get_slo_evaluator()
+    slo_snapshot = (slo if isinstance(slo, dict) or slo is None
+                    else slo.snapshot())
+    alerts_firing = 0
+    if slo_snapshot:
+        for entry in slo_snapshot.get("slos", ()):
+            oid = graph.add_node(Oid(f"slo-{entry['name']}"))
+            graph.add_to_collection("Slos", oid)
+            graph.add_edge(oid, "name", Atom.string(entry["name"]))
+            graph.add_edge(oid, "objective",
+                           Atom.string(entry.get("objective") or "-"))
+            burn = entry.get("burn_rate")
+            graph.add_edge(oid, "burn", Atom.string(
+                "no data" if burn is None else f"{burn:.2f}x"))
+            compliance = entry.get("compliance")
+            graph.add_edge(oid, "compliance", Atom.string(
+                "-" if compliance is None
+                else f"{compliance * 100:.3f}%"))
+            budget = entry.get("budget_remaining")
+            graph.add_edge(oid, "budget", Atom.string(
+                "-" if budget is None else f"{budget * 100:.1f}%"))
+            graph.add_edge(oid, "status", Atom.string(
+                "VIOLATED" if entry.get("violated") else "ok"))
+        for rank, alert in enumerate(slo_snapshot.get("alerts", ()), 1):
+            oid = graph.add_node(Oid(f"alert-{alert['name']}"))
+            graph.add_to_collection("Alerts", oid)
+            graph.add_edge(oid, "rank", Atom.int(rank))
+            graph.add_edge(oid, "name", Atom.string(alert["name"]))
+            state = alert.get("state") or "ok"
+            graph.add_edge(oid, "state", Atom.string(state))
+            graph.add_edge(oid, "severity",
+                           Atom.string(alert.get("severity") or "-"))
+            graph.add_edge(oid, "windows", Atom.string(
+                f"{int(alert.get('short_window_s', 0))}s / "
+                f"{int(alert.get('long_window_s', 0))}s"))
+            graph.add_edge(oid, "factor",
+                           Atom.of(alert.get("factor", 0.0)))
+            short_burn = alert.get("short_burn")
+            long_burn = alert.get("long_burn")
+            graph.add_edge(oid, "burns", Atom.string(
+                ("-" if short_burn is None else f"{short_burn:.2f}x")
+                + " / "
+                + ("-" if long_burn is None else f"{long_burn:.2f}x")))
+            if state == "firing":
+                alerts_firing += 1
+
     summary = graph.add_node(Oid("summary"))
     graph.add_to_collection("Summary", summary)
     graph.add_edge(summary, "spans", Atom.int(span_count))
@@ -247,6 +300,11 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
     graph.add_edge(summary, "queries",
                    Atom.int(query_snapshot.get("fingerprints", 0)))
     graph.add_edge(summary, "sources", Atom.int(len(stamps)))
+    if slo_snapshot:
+        graph.add_edge(summary, "slos",
+                       Atom.int(len(slo_snapshot.get("slos", ()))))
+        graph.add_edge(summary, "alerts_firing",
+                       Atom.int(alerts_firing))
     if lineage.enabled:
         report = freshness_report(lineage, max_age=max_age, now=now)
         graph.add_edge(summary, "stale_pages",
@@ -270,14 +328,16 @@ def telemetry_graph(recorder: TraceRecorder | NullRecorder,
 MONITOR_QUERY = """
 INPUT TELEMETRY
 CREATE Dashboard(), StageIndex(), TraceIndex(), MetricsPage(),
-       RequestsPage(), EventsPage(), QueriesPage(), FreshnessPage()
+       RequestsPage(), EventsPage(), QueriesPage(), FreshnessPage(),
+       AlertsPage()
 LINK Dashboard() -> "Stages" -> StageIndex(),
      Dashboard() -> "Traces" -> TraceIndex(),
      Dashboard() -> "Metrics" -> MetricsPage(),
      Dashboard() -> "Requests" -> RequestsPage(),
      Dashboard() -> "Events" -> EventsPage(),
      Dashboard() -> "Queries" -> QueriesPage(),
-     Dashboard() -> "Freshness" -> FreshnessPage()
+     Dashboard() -> "Freshness" -> FreshnessPage(),
+     Dashboard() -> "Alerts" -> AlertsPage()
 // Overview numbers straight off the summary node
 { WHERE Summary(m), m -> l -> v
   LINK Dashboard() -> l -> v
@@ -347,6 +407,17 @@ LINK Dashboard() -> "Stages" -> StageIndex(),
   LINK SourceRow(f) -> l -> v,
        FreshnessPage() -> "Source" -> SourceRow(f)
 }
+// Objectives and their burn-rate alert rules
+{ WHERE Slos(o), o -> l -> v
+  CREATE SloRow(o)
+  LINK SloRow(o) -> l -> v,
+       AlertsPage() -> "Slo" -> SloRow(o)
+}
+{ WHERE Alerts(a), a -> l -> v
+  CREATE AlertRow(a)
+  LINK AlertRow(a) -> l -> v,
+       AlertsPage() -> "Alert" -> AlertRow(a)
+}
 OUTPUT MONITOR
 """
 
@@ -364,6 +435,7 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @events> events</LI>
 <SIF @sources><LI><SFMT @sources> tracked sources<SIF @stale_pages>
 (<SFMT @stale_pages> stale pages)</SIF></LI></SIF>
+<SIF @slos><LI><SFMT @slos> SLOs, <SFMT @alerts_firing> alerts firing</LI></SIF>
 </UL>
 <H2>Browse</H2>
 <UL>
@@ -374,6 +446,7 @@ def monitor_templates() -> TemplateSet:
 <LI><SFMT @Events TAG="Event log"></LI>
 <LI><SFMT @Queries TAG="Query registry"></LI>
 <LI><SFMT @Freshness TAG="Source freshness"></LI>
+<LI><SFMT @Alerts TAG="SLOs and alerts"></LI>
 </UL>
 <SIF @live><H2>Live endpoints</H2>
 <P>A <TT>repro serve</TT> process is exporting this telemetry at
@@ -498,6 +571,32 @@ is <TT>/debug/lineage</TT>).</P>
     templates.add("SourceRow", """<TR><TD><SFMT @name></TD><TD><SFMT @kind></TD>
 <TD><SFMT @age_s></TD><TD><TT><SFMT @hash></TT></TD>
 <TD><SFMT @nodes></TD><TD><SFMT @edges></TD></TR>""", as_page=False)
+    templates.add("AlertsPage", """<HTML><HEAD><TITLE>Alerts</TITLE></HEAD>
+<BODY>
+<H1>SLOs and alerts</H1>
+<P>Service-level objectives judged over rolling windows and their
+multi-window burn-rate alert rules (the live counterparts are
+<TT>/debug/slo</TT> and <TT>/debug/alerts</TT>).</P>
+<SIF @Slo><H2>Objectives</H2>
+<TABLE><TR><TH>SLO</TH><TH>objective</TH><TH>compliance</TH>
+<TH>burn</TH><TH>budget left</TH><TH>status</TH></TR>
+<SFMTLIST @Slo FORMAT=EMBED ORDER=ascend KEY=name DELIM="">
+</TABLE>
+<SELSE><P>No SLO evaluator ran (serve mode starts one).</P></SIF>
+<SIF @Alert><H2>Burn-rate rules</H2>
+<TABLE><TR><TH>rule</TH><TH>severity</TH><TH>windows</TH>
+<TH>threshold</TH><TH>short / long burn</TH><TH>state</TH></TR>
+<SFMTLIST @Alert FORMAT=EMBED ORDER=ascend KEY=rank DELIM="">
+</TABLE></SIF>
+</BODY></HTML>""")
+    templates.add("SloRow", """<TR><TD><SFMT @name></TD>
+<TD><SFMT @objective></TD><TD><SFMT @compliance></TD>
+<TD><SFMT @burn></TD><TD><SFMT @budget></TD>
+<TD><B><SFMT @status></B></TD></TR>""", as_page=False)
+    templates.add("AlertRow", """<TR><TD><SFMT @name></TD>
+<TD><SFMT @severity></TD><TD><SFMT @windows></TD>
+<TD><SFMT @factor>x</TD><TD><SFMT @burns></TD>
+<TD><B><SFMT @state></B></TD></TR>""", as_page=False)
     return templates
 
 
@@ -506,9 +605,10 @@ def build_monitor_site(recorder: TraceRecorder | NullRecorder,
                        max_spans: int = MAX_SPAN_NODES,
                        live_url: str | None = None,
                        queries=None,
-                       max_age: float | None = None) -> Website:
+                       max_age: float | None = None,
+                       slo=None) -> Website:
     """The monitoring dashboard over one recorder's telemetry."""
     data = telemetry_graph(recorder, server_log=server_log,
                            max_spans=max_spans, live_url=live_url,
-                           queries=queries, max_age=max_age)
+                           queries=queries, max_age=max_age, slo=slo)
     return Website(data, MONITOR_QUERY, monitor_templates())

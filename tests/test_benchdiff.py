@@ -57,6 +57,34 @@ class TestCompareDocuments:
         comparison = compare_documents(old, new)
         assert [d.name for d in comparison.deltas] == ["a_p50_s"]
 
+    def test_zero_count_metric_skipped_not_gated(self):
+        # A recorded 0.0 whose *_count companion is 0 never ran — a
+        # huge "regression" against it is absence, not a slowdown.
+        old = _doc(a_p50_s=0.0, a_count=0, b_p50_s=0.1, b_count=3)
+        new = _doc(a_p50_s=5.0, a_count=4, b_p50_s=0.1, b_count=3)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert comparison.skipped == ["a_p50_s"]
+        assert [d.name for d in comparison.deltas] == ["b_p50_s"]
+        assert "never ran on one side" in comparison.render()
+
+    def test_zero_count_on_new_side_also_skips(self):
+        old = _doc(a_p50_s=0.1, a_count=5)
+        new = _doc(a_p50_s=0.0, a_count=0)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert comparison.skipped == ["a_p50_s"]
+
+    def test_zero_baseline_without_count_still_not_gated(self):
+        # No companion count: nothing proves absence, but a zero
+        # baseline has no percentage either.
+        old = _doc(a_p50_s=0.0)
+        new = _doc(a_p50_s=9.9)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert comparison.skipped == []
+        assert comparison.deltas[0].pct is None
+
     def test_one_sided_metrics_reported_not_gated(self):
         old = _doc(gone_p50_s=0.1, stays_p50_s=0.1)
         new = _doc(stays_p50_s=0.1, fresh_p50_s=99.0)

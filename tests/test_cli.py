@@ -559,3 +559,143 @@ class TestWhyCommand:
         from repro.obs.lineage import get_lineage
         main(self._argv(workspace, "--list"))
         assert not get_lineage().enabled
+
+
+class TestSloCheckCommand:
+    """Issue 9: the offline SLO gate (repro slo check)."""
+
+    def _snapshot(self, tmp_path, *, firing=False, violated=False):
+        alert_state = "firing" if firing else "ok"
+        document = {
+            "metrics": {"counters": {"server.requests": 100}},
+            "slo": {
+                "ticks": 10,
+                "slos": [{
+                    "name": "server-availability",
+                    "objective": "99% of server.requests good",
+                    "burn_rate": 20.0 if violated else 0.1,
+                    "violated": violated,
+                }],
+                "alerts": [{
+                    "name": "server-availability:page",
+                    "state": alert_state,
+                    "long_burn": 20.0, "short_burn": 25.0,
+                    "factor": 14.4,
+                }],
+                "firing": 1 if firing else 0,
+            },
+        }
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_healthy_snapshot_passes(self, tmp_path, capsys):
+        assert main(["slo", "check",
+                     self._snapshot(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "slo check: ok" in printed
+        assert "ok  server-availability" in printed
+
+    def test_firing_snapshot_fails(self, tmp_path, capsys):
+        code = main(["slo", "check",
+                     self._snapshot(tmp_path, firing=True,
+                                    violated=True)])
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "VIOLATED" in printed
+        assert "FIRING  server-availability:page" in printed
+        assert "slo check: FAIL (1 violated, 1 firing)" in printed
+
+    def test_snapshot_without_slo_state(self, tmp_path, capsys):
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps({"slo": {}, "metrics": {}}))
+        assert main(["slo", "check", str(path)]) == 0
+        assert "without SLO evaluation" in capsys.readouterr().out
+
+    def test_obs_export_violation(self, tmp_path, capsys):
+        path = tmp_path / "export.json"
+        path.write_text(json.dumps({"metrics": {"counters": {
+            "server.requests": 100, "server.errors": 50}}}))
+        assert main(["slo", "check", str(path)]) == 1
+        printed = capsys.readouterr().out
+        assert "VIOLATED  server-availability" in printed
+        assert "slo check: FAIL" in printed
+
+    def test_obs_export_healthy(self, tmp_path, capsys):
+        path = tmp_path / "export.json"
+        path.write_text(json.dumps({"metrics": {"counters": {
+            "server.requests": 10000}}}))
+        assert main(["slo", "check", str(path)]) == 0
+        assert "slo check: ok" in capsys.readouterr().out
+
+    def test_prometheus_dump(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text(
+            "strudel_server_requests_total 100\n"
+            "strudel_server_errors_total 50\n")
+        assert main(["slo", "check", str(path)]) == 1
+        assert "VIOLATED  server-availability" in \
+            capsys.readouterr().out
+
+    def test_prometheus_histogram_dump(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text(
+            'strudel_server_request_seconds_bucket{le="0.25"} 1\n'
+            'strudel_server_request_seconds_bucket{le="0.5"} 100\n'
+            'strudel_server_request_seconds_bucket{le="+Inf"} 100\n'
+            "strudel_server_request_seconds_count 100\n"
+            "strudel_server_request_seconds_sum 99.0\n")
+        assert main(["slo", "check", str(path)]) == 1
+        assert "VIOLATED  server-latency" in capsys.readouterr().out
+
+    def test_prometheus_without_relevant_samples(self, tmp_path,
+                                                 capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text("unrelated_total 5\n")
+        assert main(["slo", "check", str(path)]) == 2
+        assert "no SLO-relevant" in capsys.readouterr().err
+
+    def test_missing_dump(self, tmp_path, capsys):
+        assert main(["slo", "check",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_array_rejected(self, tmp_path, capsys):
+        path = tmp_path / "weird.json"
+        path.write_text("[1, 2]")
+        assert main(["slo", "check", str(path)]) == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_json_without_metrics_rejected(self, tmp_path, capsys):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"foo": 1}))
+        assert main(["slo", "check", str(path)]) == 2
+        assert "neither a snapshot.json" in capsys.readouterr().err
+
+    def test_custom_config_changes_the_verdict(self, tmp_path,
+                                               capsys):
+        dump = tmp_path / "export.json"
+        dump.write_text(json.dumps({"counters": {
+            "req": 100, "err": 30}}))
+        lax = tmp_path / "lax.toml"
+        lax.write_text('[[slo]]\nname = "avail"\n'
+                       'kind = "availability"\n'
+                       'total = "req"\nbad = "err"\ntarget = 0.5\n')
+        strict = tmp_path / "strict.toml"
+        strict.write_text('[[slo]]\nname = "avail"\n'
+                          'kind = "availability"\n'
+                          'total = "req"\nbad = "err"\n'
+                          'target = 0.99\n')
+        assert main(["slo", "check", str(dump),
+                     "--config", str(lax)]) == 0
+        capsys.readouterr()
+        assert main(["slo", "check", str(dump),
+                     "--config", str(strict)]) == 1
+        assert "VIOLATED  avail" in capsys.readouterr().out
+
+    def test_bad_config_path(self, tmp_path, capsys):
+        dump = tmp_path / "export.json"
+        dump.write_text(json.dumps({"counters": {"req": 1}}))
+        assert main(["slo", "check", str(dump),
+                     "--config", str(tmp_path / "nope.toml")]) == 2
+        assert "bad --config" in capsys.readouterr().err

@@ -202,6 +202,32 @@ class TestMetrics:
     def test_quantile_out_of_range(self):
         with pytest.raises(ValueError):
             Histogram("lat").percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(-0.1)
+
+    def test_histogram_single_observation(self):
+        histogram = Histogram("lat")
+        histogram.observe(0.007)
+        # Every quantile of a single observation is that observation.
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.percentile(q) == \
+                pytest.approx(0.007, abs=1e-9)
+
+    def test_histogram_q0_q1_clamp_to_min_max(self):
+        histogram = Histogram("lat")
+        for value in (0.002, 0.04, 0.3):
+            histogram.observe(value)
+        # Interpolation cannot stray outside the observed range.
+        assert histogram.percentile(0.0) == histogram.min == 0.002
+        assert histogram.percentile(1.0) == histogram.max == 0.3
+
+    def test_histogram_overflow_single_observation(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(42.0)
+        # Past the last bound, the overflow bucket answers the true
+        # max (tracked exactly) rather than an interpolated bound.
+        assert histogram.percentile(0.5) == 42.0
+        assert histogram.percentile(1.0) == 42.0
 
 
 class TestExport:

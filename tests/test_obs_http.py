@@ -12,12 +12,19 @@ import urllib.request
 
 import pytest
 
+import repro
 from repro import obs
 from repro.obs.http import (
+    DEBUG_ENDPOINTS,
     DEBUG_TRACE_DEPTH,
     SERVE_MAX_ROOTS,
     TelemetryHTTPServer,
     serving_recorder,
+)
+from repro.obs.slo import (
+    CanaryProber,
+    SLOEvaluator,
+    set_slo_evaluator,
 )
 from repro.obs.trace import (
     TAIL_ERRORS_KEPT,
@@ -152,7 +159,14 @@ class TestEndpoints:
         server.start_background()
         try:
             status, _, body = _get(server.url + "/healthz")
-            assert (status, body) == (200, "ok\n")
+            assert status == 200
+            # First line stays "ok" (probe compatibility); the body
+            # now also reports uptime, version and SLO state.
+            lines = body.splitlines()
+            assert lines[0] == "ok"
+            assert lines[1].startswith("uptime_seconds: ")
+            assert lines[2] == f"version: {repro.__version__}"
+            assert lines[3].startswith("slo: ")
             with pytest.raises(urllib.error.HTTPError) as err:
                 _get(server.url + "/readyz")
             assert err.value.code == 503
@@ -188,6 +202,57 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as err:
             _get(plane.url + "/debug/nope")
         assert err.value.code == 404
+        # The 404 body points at what does exist.
+        body = err.value.read().decode()
+        assert "/debug/traces" in body and "/debug/slo" in body
+
+    def test_debug_index_text_and_json(self, plane):
+        for path in ("/debug", "/debug/"):
+            status, _, body = _get(plane.url + path)
+            assert status == 200
+            for endpoint in DEBUG_ENDPOINTS:
+                assert endpoint in body
+        status, _, body = _get(plane.url + "/debug/?format=json")
+        document = json.loads(body)
+        assert set(document["endpoints"]) == set(DEBUG_ENDPOINTS)
+
+    def test_slo_endpoints_without_evaluator(self, plane):
+        for path in ("/debug/slo", "/debug/alerts"):
+            status, _, body = _get(plane.url + path)
+            assert status == 200
+            assert json.loads(body) == {"enabled": False}
+
+    def test_slo_and_alerts_endpoints_with_evaluator(self, plane):
+        evaluator = SLOEvaluator(plane.recorder, step=0.05)
+        plane.slo_evaluator = evaluator
+        canary = CanaryProber(plane.site_server, plane.recorder,
+                              interval=60.0, evaluator=evaluator)
+        plane.canary = canary
+        canary.probe()
+        time.sleep(0.06)
+        canary.probe()
+
+        status, _, body = _get(plane.url + "/debug/slo")
+        document = json.loads(body)
+        assert document["enabled"] and document["ticks"] >= 2
+        names = {entry["name"] for entry in document["slos"]}
+        assert "canary-latency" in names and "server-latency" in names
+
+        status, _, body = _get(plane.url + "/debug/alerts")
+        document = json.loads(body)
+        assert document["enabled"] and document["firing"] == 0
+        assert document["canary"]["probes"] == 2
+        states = {alert["state"] for alert in document["alerts"]}
+        assert states == {"ok"}
+
+    def test_healthz_reports_worst_burning_slo(self, plane):
+        evaluator = SLOEvaluator(plane.recorder, step=0.05)
+        plane.slo_evaluator = evaluator
+        evaluator.evaluate(now=100.0)
+        plane.site_server.request("RootPage__.html")
+        evaluator.evaluate(now=100.1)
+        _, _, body = _get(plane.url + "/healthz")
+        assert "slo: worst burn " in body
 
     def test_metrics_parseable_and_counting(self, plane):
         _get(plane.url + "/")

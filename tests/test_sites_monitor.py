@@ -254,6 +254,86 @@ class TestQueriesPage:
         assert "No queries observed" in page
 
 
+class TestAlertsPage:
+    """Issue 9: SLO objectives and burn-rate alerts on the dashboard."""
+
+    def _firing_evaluator(self):
+        from repro.obs.slo import SLO, BurnRatePair, SLOEvaluator
+        recorder = obs.TraceRecorder()
+        slo = SLO(name="avail", kind="availability", target=0.99,
+                  window_s=8.0, total_metric="req", bad_metric="err")
+        pair = BurnRatePair(long_s=8.0, short_s=2.0, factor=10.0,
+                            severity="page")
+        evaluator = SLOEvaluator(recorder, slos=[slo], step=1.0,
+                                 pairs=(pair,), for_ticks=2)
+        evaluator.evaluate(now=100.0)
+        for now in (101.0, 102.0):
+            recorder.metrics.counter("req").inc(20)
+            recorder.metrics.counter("err").inc(10)
+            evaluator.evaluate(now=now)
+        return evaluator
+
+    def test_slo_collections_in_graph(self):
+        from repro.graph import Atom
+        evaluator = self._firing_evaluator()
+        graph = telemetry_graph(obs.TraceRecorder(), slo=evaluator)
+        (slo_row,) = graph.collection("Slos")
+        assert graph.get(slo_row, "name") == [Atom.string("avail")]
+        assert graph.get(slo_row, "status") == [Atom.string("VIOLATED")]
+        assert str(graph.get_one(slo_row, "burn").value).endswith("x")
+        (alert_row,) = graph.collection("Alerts")
+        assert graph.get(alert_row, "name") == \
+            [Atom.string("avail:page")]
+        assert graph.get(alert_row, "state") == [Atom.string("firing")]
+        summary = graph.collection("Summary")[0]
+        assert graph.get(summary, "slos") == [Atom.int(1)]
+        assert graph.get(summary, "alerts_firing") == [Atom.int(1)]
+
+    def test_accepts_snapshot_dict(self):
+        evaluator = self._firing_evaluator()
+        graph = telemetry_graph(obs.TraceRecorder(),
+                                slo=evaluator.snapshot())
+        assert len(graph.collection("Slos")) == 1
+        assert len(graph.collection("Alerts")) == 1
+
+    def test_defaults_to_global_evaluator(self):
+        from repro.obs.slo import set_slo_evaluator
+        evaluator = self._firing_evaluator()
+        set_slo_evaluator(evaluator)
+        try:
+            graph = telemetry_graph(obs.TraceRecorder())
+            assert len(graph.collection("Slos")) == 1
+        finally:
+            set_slo_evaluator(None)
+
+    def test_alerts_page_rendered(self, tmp_path):
+        evaluator = self._firing_evaluator()
+        site = build_monitor_site(obs.TraceRecorder(), slo=evaluator)
+        out = tmp_path / "dash"
+        out.mkdir()
+        site.generate(str(out))
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "AlertsPage__.html" in dashboard
+        assert "1 SLOs, 1 alerts firing" in dashboard
+        page = (out / "AlertsPage__.html").read_text()
+        assert "avail:page" in page
+        assert "firing" in page
+        assert "VIOLATED" in page
+        assert "2s / 8s" in page  # short / long windows
+
+    def test_no_evaluator_renders_placeholder(self, tmp_path):
+        from repro.obs.slo import set_slo_evaluator
+        set_slo_evaluator(None)
+        site = build_monitor_site(obs.TraceRecorder())
+        out = tmp_path / "dash"
+        out.mkdir()
+        site.generate(str(out))
+        page = (out / "AlertsPage__.html").read_text()
+        assert "No SLO evaluator ran" in page
+        dashboard = (out / "Dashboard__.html").read_text()
+        assert "alerts firing" not in dashboard
+
+
 class TestFreshnessPage:
     """PR 8: the dashboard's source-freshness section."""
 
