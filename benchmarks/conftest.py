@@ -39,6 +39,8 @@ CORE_SPAN_METRICS = {
     "lineage_on_p50_s": "site.build_lineage_on",
     "slo_off_p50_s": "site.build_slo_off",
     "slo_on_p50_s": "site.build_slo_on",
+    "site_cold_serve_p50_s": "site.serve_cold",
+    "site_hot_serve_p50_s": "site.serve_hot",
 }
 
 #: Stable metric name -> the histogram whose p50 defines it.

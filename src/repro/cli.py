@@ -586,7 +586,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving on http://{args.host}:{plane.port}", flush=True)
     print("telemetry: /metrics /healthz /readyz /debug/traces "
           "/debug/events /debug/profile /debug/queries "
-          "/debug/lineage /debug/slo /debug/alerts", flush=True)
+          "/debug/lineage /debug/matviews /debug/slo /debug/alerts",
+          flush=True)
     thread = plane.start_background()
     plane.install_signal_handlers()
     try:
@@ -754,6 +755,16 @@ def cmd_slo_check(args: argparse.Namespace) -> int:
 
 def _check_snapshot(document: dict, path: str) -> int:
     """Gate on the judgement state a draining server wrote."""
+    # Snapshots from before the materialized-view layer have no
+    # "matviews" section; the summary is informational either way, so
+    # a missing or disabled section must never fail the check.
+    matviews = document.get("matviews")
+    if isinstance(matviews, dict) and matviews.get("enabled"):
+        print(f"matviews: {matviews.get('views', 0)} views, "
+              f"{matviews.get('hits', 0)} hits / "
+              f"{matviews.get('misses', 0)} misses, "
+              f"{matviews.get('invalidations', 0)} invalidations "
+              f"({matviews.get('views_dropped', 0)} views dropped)")
     slo_state = document.get("slo")
     if not slo_state:
         print(f"{path}: server ran without SLO evaluation; "

@@ -29,6 +29,8 @@ answers two kinds of traffic on one port:
                   counts, p50/p95 latency, rows, last plan
   ``/debug/lineage``  provenance: the backward derivation tree for
                   ``?page=<url|oid>``, or an index summary without it
+  ``/debug/matviews`` the materialized-view registry: hit/miss/
+                  invalidation counters and per-view footprints
   ``/debug/slo``  every service-level objective with its windowed
                   compliance, burn rate and remaining error budget
   ``/debug/alerts``   the burn-rate alert rules and their
@@ -106,6 +108,9 @@ DEBUG_ENDPOINTS: dict[str, str] = {
                        "last plan (?limit=N)"),
     "/debug/lineage": ("page provenance (?page=<url|oid>), or a "
                        "source-freshness summary"),
+    "/debug/matviews": ("materialized-view registry: hit/miss/"
+                        "invalidation counters and per-view footprints "
+                        "(?limit=N)"),
     "/debug/slo": ("service-level objectives: compliance, burn rate, "
                    "error budget"),
     "/debug/alerts": "burn-rate alert rules and their firing state",
@@ -273,6 +278,10 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             # hit/miss totals reconcile with pages_computed.
             "site_cache": (cache_snapshot()
                            if callable(cache_snapshot) else None),
+            # Materialized-view registry state (hit/miss/invalidation
+            # counters, per-view footprints) — absent on pre-matview
+            # snapshots, so consumers must tolerate a missing key.
+            "matviews": self._matviews_payload(limit=DEBUG_QUERY_LIMIT),
             # Objective judgements and alert state at drain time, so
             # `repro slo check snapshot.json` can gate on the run.
             "slo": self._slo_snapshot(),
@@ -280,6 +289,13 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         with open(paths["snapshot"], "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         return paths
+
+    def _matviews_payload(self, limit: int = 50) -> dict:
+        """The mounted site's materialized-view registry state."""
+        registry = getattr(self.site_server, "matviews", None)
+        if registry is None:
+            return {"enabled": False}
+        return registry.snapshot(limit=limit)
 
     def _slo_snapshot(self) -> dict | None:
         evaluator = self._slo()
@@ -391,6 +407,10 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
             limit = _int_param(query, "limit", DEBUG_QUERY_LIMIT)
             return 200, CONTENT_JSON, json.dumps(
                 get_query_registry().snapshot(limit=limit), indent=2)
+        if path == "/debug/matviews":
+            limit = _int_param(query, "limit", DEBUG_QUERY_LIMIT)
+            return 200, CONTENT_JSON, json.dumps(
+                self._matviews_payload(limit), indent=2)
         if path == "/debug/lineage":
             return self._lineage_route(query)
         if path == "/debug/slo":

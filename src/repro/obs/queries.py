@@ -75,11 +75,14 @@ def misestimate_ratio(estimated: float | None, actual: int | float) -> float:
 def normalize_query(text: str) -> str:
     """Canonical form of a query's text for fingerprinting.
 
-    String and numeric literals are masked to ``?`` and whitespace is
-    collapsed, so ``x = "a"`` and ``x = "b"`` share a fingerprint while
-    structurally different queries do not.
+    Literals are masked — strings to ``"?"`` (quotes kept), numbers to
+    ``?`` — and whitespace is collapsed, so ``x = "a"`` and ``x = "b"``
+    share a fingerprint while structurally different queries do not.
+    Keeping the quotes preserves the literal's *type*: ``x = "1"`` and
+    ``x = 1`` compare differently at evaluation time and must not
+    collide into one fingerprint.
     """
-    masked = _STRING_LITERAL.sub("?", text)
+    masked = _STRING_LITERAL.sub('"?"', text)
     masked = _NUMBER_LITERAL.sub("?", masked)
     return _WHITESPACE.sub(" ", masked).strip()
 

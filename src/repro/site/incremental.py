@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import PageNotFoundError
@@ -33,6 +34,7 @@ from repro.graph.values import Atom
 from repro.obs.lineage import get_lineage
 from repro.obs.queries import fingerprint, get_query_registry
 from repro.obs.trace import get_recorder
+from repro.struql.analysis import ANY_FOOTPRINT, Footprint, unit_footprint
 from repro.struql.ast import AggregateCond, Const, Query, SkolemTerm, Var
 from repro.struql.bindings import Binding, RuntimeValue, as_label
 from repro.struql.evaluator import QueryEngine, _enforce_aggregate_order
@@ -82,6 +84,14 @@ class DynamicSite:
         self.data = data
         self.engine = engine or QueryEngine()
         self.units = flatten(query)
+        #: Static read footprint of each flattened unit (keyed by the
+        #: unit's identity, which is also the bindings-cache key head).
+        self.unit_footprints: dict[int, Footprint] = {
+            id(unit): unit_footprint(unit) for unit in self.units}
+        #: Skolem function -> union of the footprints of every unit
+        #: that contributes links or collections to its pages: the data
+        #: a page of that function may read when computed.
+        self.fn_footprints = self._compute_fn_footprints()
         self.skolem = SkolemRegistry()
         #: The site query's fingerprint, also used as the lineage query
         #: context for click-time Skolem mints.
@@ -109,7 +119,51 @@ class DynamicSite:
                       "page_cache_evictions": 0,
                       "bindings_cache_hits": 0,
                       "bindings_cache_misses": 0,
-                      "bindings_cache_evictions": 0}
+                      "bindings_cache_evictions": 0,
+                      "full_invalidations": 0,
+                      "partial_invalidations": 0,
+                      "pages_invalidated": 0,
+                      "bindings_invalidated": 0}
+
+    def _compute_fn_footprints(self) -> dict[str, Footprint]:
+        out: dict[str, Footprint] = {
+            fn: Footprint() for fn in self.query.skolem_functions()}
+        for unit in self.units:
+            footprint = self.unit_footprints[id(unit)]
+            touched = {link.source.fn for link in unit.links}
+            touched.update(c.term.fn for c in unit.collects
+                           if isinstance(c.term, SkolemTerm))
+            for fn in touched:
+                out[fn] = out.get(fn, Footprint()).union(footprint)
+        return out
+
+    def footprint_for(self, fn: str | None) -> Footprint:
+        """Read footprint of pages minted by Skolem function ``fn``."""
+        if fn is None:
+            return ANY_FOOTPRINT
+        return self.fn_footprints.get(fn, ANY_FOOTPRINT)
+
+    def footprint_for_fns(self, fns) -> Footprint:
+        """Union footprint over several Skolem functions."""
+        out = Footprint()
+        for fn in fns:
+            out = out.union(self.footprint_for(fn))
+        return out
+
+    def affected_fns(self, change) -> set[str] | None:
+        """Skolem functions whose pages ``change`` may affect.
+
+        ``None`` means "all of them" — returned for a full change, an
+        unknown change, or a change naming this site's data source
+        (source-level granularity cannot be narrowed further here).
+        """
+        if change is None or getattr(change, "full", False):
+            return None
+        sources = getattr(change, "sources", frozenset())
+        if sources and self.data.name in sources:
+            return None
+        return {fn for fn, footprint in self.fn_footprints.items()
+                if footprint.intersects(change)}
 
     # -- roots -----------------------------------------------------------------
 
@@ -172,16 +226,41 @@ class DynamicSite:
         recorder.metrics.counter("site.page_cache_misses").inc()
         return view
 
-    def invalidate(self) -> None:
-        """Drop all cached results (after a data-graph update).
+    def invalidate(self, change=None) -> set[str] | None:
+        """Drop cached results affected by a data-graph update.
+
+        With no ``change`` (or a full/unknown one) this flushes
+        everything, exactly as before.  Given a
+        :class:`~repro.struql.matview.ChangeSummary`, only pages whose
+        function footprint intersects the change and bindings whose
+        unit footprint intersects it are dropped; the graph index is
+        always discarded (the data did change).  Returns the affected
+        Skolem functions, or ``None`` for a full flush.
 
         Atomic with in-flight :meth:`get_page` calls: waits for any
-        compute holding :attr:`lock`, then flushes everything at once.
+        compute holding :attr:`lock`, then flushes at once.
         """
         with self.lock:
-            self._page_cache.clear()
-            self._bindings_cache.clear()
             self._index = None
+            affected = self.affected_fns(change)
+            if affected is None:
+                self._page_cache.clear()
+                self._bindings_cache.clear()
+                self.stats["full_invalidations"] += 1
+                return None
+            pages = [oid for oid in self._page_cache
+                     if oid.skolem_fn in affected]
+            for oid in pages:
+                del self._page_cache[oid]
+            bindings = [key for key in self._bindings_cache
+                        if self.unit_footprints.get(
+                            key[0], ANY_FOOTPRINT).intersects(change)]
+            for key in bindings:
+                del self._bindings_cache[key]
+            self.stats["partial_invalidations"] += 1
+            self.stats["pages_invalidated"] += len(pages)
+            self.stats["bindings_invalidated"] += len(bindings)
+            return affected
 
     def stats_snapshot(self) -> dict:
         """A consistent copy of :attr:`stats` plus cache occupancy."""
@@ -336,8 +415,27 @@ class LazySiteGraph(Graph):
         super().__init__(site.query.output_name)
         self._site = site
         self._materialized: set[Oid] = set()
+        self._local = threading.local()
         for root in site.roots():
             self.add_node(root)
+
+    @contextmanager
+    def collecting_deps(self):
+        """Record the Skolem functions touched by reads in this thread.
+
+        Yields a set that :meth:`ensure` adds every touched page's
+        function to — including pages that were already materialized.
+        A renderer wrapped in this context learns exactly which page
+        views its output depends on, which becomes the rendered body's
+        invalidation footprint.
+        """
+        previous = getattr(self._local, "deps", None)
+        deps: set[str] = set()
+        self._local.deps = deps
+        try:
+            yield deps
+        finally:
+            self._local.deps = previous
 
     def ensure(self, oid: Oid) -> None:
         """Materialize ``oid``'s page if it is dynamic and not yet done.
@@ -349,6 +447,9 @@ class LazySiteGraph(Graph):
         """
         if oid.skolem_fn is None:
             return
+        deps = getattr(self._local, "deps", None)
+        if deps is not None:
+            deps.add(oid.skolem_fn)
         with self._site.lock:
             if oid in self._materialized:
                 return
@@ -360,28 +461,55 @@ class LazySiteGraph(Graph):
             for name in view.collections:
                 self.add_to_collection(name, oid)
 
+    def unmaterialize(self, fns: set[str] | None = None) -> int:
+        """Forget materialized pages so they recompute on next access.
+
+        ``fns`` restricts the flush to pages minted by those Skolem
+        functions (``None`` flushes every materialized page).  Nodes
+        stay in the graph — links from other pages and the URL map
+        remain valid — but their outgoing edges and collection
+        memberships are detached, so the next read recomputes the page
+        view against the updated data.
+        """
+        with self._site.lock:
+            victims = [oid for oid in self._materialized
+                       if fns is None or oid.skolem_fn in fns]
+            for oid in victims:
+                self._materialized.discard(oid)
+                self.detach_node(oid)
+            return len(victims)
+
     # -- read paths used by the HTML generator ------------------------------------
+    #
+    # Each read holds the site lock across ensure + read so a concurrent
+    # unmaterialize/invalidate never interleaves mid-read; the serving
+    # hot path (materialized-view hits) bypasses this graph entirely.
 
     def out_edges(self, source: Oid):  # type: ignore[override]
-        self.ensure(source)
-        return super().out_edges(source)
+        with self._site.lock:
+            self.ensure(source)
+            return super().out_edges(source)
 
     def get(self, source: Oid, label: str):  # type: ignore[override]
-        self.ensure(source)
-        return super().get(source, label)
+        with self._site.lock:
+            self.ensure(source)
+            return super().get(source, label)
 
     def get_one(self, source: Oid, label: str, default=None):  # type: ignore[override]
-        self.ensure(source)
-        return super().get_one(source, label, default)
+        with self._site.lock:
+            self.ensure(source)
+            return super().get_one(source, label, default)
 
     def labels_of(self, source: Oid):  # type: ignore[override]
-        self.ensure(source)
-        return super().labels_of(source)
+        with self._site.lock:
+            self.ensure(source)
+            return super().labels_of(source)
 
     def collections_of(self, obj):  # type: ignore[override]
-        if isinstance(obj, Oid):
-            self.ensure(obj)
-        return super().collections_of(obj)
+        with self._site.lock:
+            if isinstance(obj, Oid):
+                self.ensure(obj)
+            return super().collections_of(obj)
 
     @property
     def materialized_count(self) -> int:

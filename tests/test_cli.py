@@ -628,6 +628,39 @@ class TestSloCheckCommand:
         assert main(["slo", "check", str(path)]) == 0
         assert "slo check: ok" in capsys.readouterr().out
 
+    def test_snapshot_with_matview_section(self, tmp_path, capsys):
+        """A current snapshot's matview section is summarized."""
+        path = tmp_path / "snapshot.json"
+        document = json.loads(
+            open(self._snapshot(tmp_path), encoding="utf-8").read())
+        document["matviews"] = {
+            "enabled": True, "views": 7, "hits": 42, "misses": 9,
+            "invalidations": 3, "views_dropped": 5,
+        }
+        path.write_text(json.dumps(document))
+        assert main(["slo", "check", str(path)]) == 0
+        printed = capsys.readouterr().out
+        assert "matviews: 7 views, 42 hits / 9 misses, " \
+            "3 invalidations (5 views dropped)" in printed
+
+    def test_snapshot_predating_matviews_still_checks(self, tmp_path,
+                                                      capsys):
+        """Snapshots from versions without the matview section (or
+        with a malformed one) must neither crash nor print it."""
+        assert main(["slo", "check",
+                     self._snapshot(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "slo check: ok" in printed
+        assert "matviews:" not in printed
+        # A malformed section is ignored the same way.
+        path = tmp_path / "weird.json"
+        document = json.loads(
+            open(self._snapshot(tmp_path), encoding="utf-8").read())
+        document["matviews"] = "not-a-dict"
+        path.write_text(json.dumps(document))
+        assert main(["slo", "check", str(path)]) == 0
+        assert "matviews:" not in capsys.readouterr().out
+
     def test_prometheus_dump(self, tmp_path, capsys):
         path = tmp_path / "metrics.prom"
         path.write_text(

@@ -625,3 +625,58 @@ class TestDebugLineage:
             open(paths["snapshot"], encoding="utf-8").read())
         assert document["lineage"]["enabled"] is True
         assert "sources" in document
+
+
+class TestDebugMatviews:
+    def test_endpoint_reports_registry_state(self, plane):
+        _get(plane.url + "/")  # one served page -> one body view
+        _get(plane.url + "/")  # and one hit
+        status, headers, text = _get(plane.url + "/debug/matviews")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        doc = json.loads(text)
+        assert doc["enabled"] is True
+        assert doc["views"] >= 1
+        assert doc["hits"] >= 1 and doc["misses"] >= 1
+        top = doc["top"][0]
+        assert "key" in top and "footprint" in top and "hits" in top
+
+    def test_limit_parameter_caps_top(self, plane):
+        for path in ("/", "/YearPage_1997_.html",
+                     "/YearPage_1998_.html"):
+            _get(plane.url + path)
+        _, _, text = _get(plane.url + "/debug/matviews?limit=1")
+        doc = json.loads(text)
+        assert doc["views"] >= 2
+        assert len(doc["top"]) == 1
+
+    def test_unmounted_plane_reports_disabled(self):
+        recorder = obs.enable(serving_recorder())
+        server = TelemetryHTTPServer(recorder, port=0, access_log=False)
+        server.start_background()
+        try:
+            server.set_ready()
+            _, _, text = _get(server.url + "/debug/matviews")
+            assert json.loads(text) == {"enabled": False}
+        finally:
+            server.request_shutdown()
+            server._serve_thread.join(10)
+            server.server_close()
+            obs.disable()
+
+    def test_snapshot_document_includes_matviews(self, plane, tmp_path):
+        _get(plane.url + "/")
+        paths = plane.write_snapshot(str(tmp_path / "snap"))
+        document = json.loads(
+            open(paths["snapshot"], encoding="utf-8").read())
+        assert document["matviews"]["enabled"] is True
+        assert document["matviews"]["views"] >= 1
+
+    def test_counters_reach_metrics_endpoint(self, plane):
+        _get(plane.url + "/")
+        _get(plane.url + "/")
+        _, _, text = _get(plane.url + "/metrics")
+        names = {n for n, _, _ in obs.parse_prometheus(text)["samples"]}
+        assert "strudel_matview_hits_total" in names, sorted(
+            n for n in names if "matview" in n)
+        assert "strudel_matview_misses_total" in names

@@ -32,11 +32,24 @@ def _fresh_state():
 
 class TestFingerprint:
     def test_literals_are_masked(self):
-        assert normalize_query('x = "alpha",  y =  42') == "x = ?, y = ?"
-        assert normalize_query('x = "beta", y = 3.14') == "x = ?, y = ?"
+        assert normalize_query('x = "alpha",  y =  42') == 'x = "?", y = ?'
+        assert normalize_query('x = "beta", y = 3.14') == 'x = "?", y = ?'
 
     def test_escaped_quote_inside_literal(self):
-        assert normalize_query(r'x = "a \" b"') == "x = ?"
+        assert normalize_query(r'x = "a \" b"') == 'x = "?"'
+
+    def test_literal_type_does_not_collide(self):
+        # `x = "1"` (string) and `x = 1` (number) evaluate differently;
+        # masking must keep them apart (the quotes carry the type).
+        assert normalize_query('where C(x), x = "1"') != \
+            normalize_query("where C(x), x = 1")
+        assert fingerprint('where C(x), x = "1"') != \
+            fingerprint("where C(x), x = 1")
+        # Same-type literals still collapse into one fingerprint.
+        assert fingerprint('where C(x), x = "1"') == \
+            fingerprint('where C(x), x = "2"')
+        assert fingerprint("where C(x), x = 1") == \
+            fingerprint("where C(x), x = 2")
 
     def test_same_shape_same_fingerprint(self):
         assert fingerprint('where C(x), x = "a"') == \
